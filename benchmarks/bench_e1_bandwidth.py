@@ -1,0 +1,40 @@
+"""E1 — bandwidth by policy (paper: "reduces network bandwidth by up to 85%").
+
+Regenerates the bandwidth-per-policy comparison: one identical hotspot
+workload per policy, steady-state outgoing bytes/s, and the reduction
+relative to the vanilla-equivalent zero-bounds baseline.
+"""
+
+import pytest
+
+from repro.experiments.figures import bandwidth_by_policy
+
+
+@pytest.mark.benchmark(group="e1-bandwidth", min_rounds=1, max_time=1.0, warmup=False)
+def test_e1_bandwidth_by_policy(benchmark, scale):
+    result = benchmark.pedantic(
+        bandwidth_by_policy,
+        kwargs=dict(
+            bots=scale["bots"],
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    rows = {row["policy"]: row for row in result["rows"]}
+    baseline = rows["zero"]["kB/s"]
+    assert baseline > 0
+
+    # Shape assertions mirroring the paper's findings:
+    # 1. zero-bounds == vanilla (the middleware is thin).
+    assert rows["vanilla"]["kB/s"] == pytest.approx(baseline, rel=1e-6)
+    # 2. every bounded policy reduces bandwidth.
+    for policy in ("fixed", "distance", "aoi"):
+        assert rows[policy]["kB/s"] < baseline
+    # 3. infinite bounds is the savings ceiling among middleware policies.
+    middleware = ("fixed", "distance", "aoi", "adaptive", "infinite")
+    assert rows["infinite"]["kB/s"] == min(rows[p]["kB/s"] for p in middleware)

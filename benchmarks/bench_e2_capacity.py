@@ -1,0 +1,60 @@
+"""E2 — player capacity (paper: "supports up to 40% more concurrent players").
+
+Sweeps the player count for the vanilla baseline and the adaptive dyconit
+policy, reports p95 simulated tick duration per point, and the capacity
+at the 50 ms tick budget.
+"""
+
+import pytest
+
+from repro.experiments.figures import capacity_sweep
+from repro.metrics.plot import line_plot
+from repro.metrics.report import render_table
+
+
+@pytest.mark.benchmark(group="e2-capacity", min_rounds=1, max_time=1.0, warmup=False)
+def test_e2_capacity_sweep(benchmark, scale):
+    result = benchmark.pedantic(
+        capacity_sweep,
+        kwargs=dict(
+            bot_counts=scale["capacity_counts"],
+            duration_ms=scale["capacity_duration_ms"],
+            # Generous warmup: the adaptive servo needs a few evaluation
+            # periods after the join ramp before its steady state is what
+            # the capacity number should reflect.
+            warmup_ms=scale["capacity_duration_ms"] * 0.6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for policy, curve in result["curves"].items():
+        rows = [[bots, p95] for bots, p95 in curve]
+        print(render_table(["players", "p95 tick ms"], rows, title=f"policy: {policy}"))
+        print()
+    # Clip the curves at 2x budget so the death-spiral tail does not
+    # flatten the interesting region of the figure.
+    clipped = {
+        policy: [(bots, min(p95, 100.0)) for bots, p95 in curve]
+        for policy, curve in result["curves"].items()
+    }
+    print(line_plot(
+        clipped,
+        title="E2: p95 tick duration vs players (clipped at 100 ms)",
+        x_label="players",
+        y_label="p95 tick [ms]",
+    ))
+    print()
+    print(result["table"])
+
+    vanilla = result["capacities"]["vanilla"]
+    adaptive = result["capacities"]["adaptive"]
+    assert vanilla > 0, "vanilla never stayed under budget - cost model broken"
+    # The headline shape: dyconits support substantially more players.
+    # (The asserted margin is scale-dependent; see conftest for why short
+    # windows compress the measured gain.)
+    minimum_gain = scale["capacity_min_gain"]
+    assert adaptive > vanilla * minimum_gain, (
+        f"adaptive capacity {adaptive:.0f} should exceed vanilla "
+        f"{vanilla:.0f} by at least {100 * (minimum_gain - 1):.0f}%"
+    )

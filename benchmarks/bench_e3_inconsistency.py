@@ -1,0 +1,42 @@
+"""E3 — client-observed inconsistency by policy.
+
+Regenerates the inconsistency-distribution figure: per policy, the
+distribution of positional error (|perceived - authoritative| per replica
+entity) and replica staleness measured by the bots themselves.
+
+Shape to reproduce: bounded policies keep error bounded and comparable to
+vanilla; the AOI strawman and the infinite-bounds ceiling show the
+unbounded inconsistency the paper argues against.
+"""
+
+import pytest
+
+from repro.experiments.figures import inconsistency_by_policy
+
+
+@pytest.mark.benchmark(group="e3-inconsistency", min_rounds=1, max_time=1.0, warmup=False)
+def test_e3_inconsistency_by_policy(benchmark, scale):
+    result = benchmark.pedantic(
+        inconsistency_by_policy,
+        kwargs=dict(
+            bots=scale["bots"],
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    rows = {row["policy"]: row for row in result["rows"]}
+    # Vanilla-equivalent replicas only lag by in-flight time.
+    assert rows["zero"]["err p99"] < 1.0
+    # Bounded policies stay bounded...
+    for policy in ("fixed", "distance", "adaptive"):
+        assert rows[policy]["err p99"] < 30.0
+    # ...while AOI and infinite show an order of magnitude more error.
+    assert rows["aoi"]["err p99"] > 2 * max(
+        rows[p]["err p99"] for p in ("fixed", "distance", "adaptive")
+    )
+    assert rows["infinite"]["err mean"] > rows["aoi"]["err mean"] * 0.9

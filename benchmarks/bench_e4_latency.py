@@ -1,0 +1,39 @@
+"""E4 — latency (paper: "without increasing game latency").
+
+Regenerates the latency comparison: per-packet network latency (p50/p95/
+p99) for vanilla vs dyconits, plus the middleware queue delay dyconits
+add before a bound flushes. Network latency must be unchanged; queue
+delay must stay within the policy's staleness bounds.
+"""
+
+import pytest
+
+from repro.experiments.figures import latency_by_policy
+
+
+@pytest.mark.benchmark(group="e4-latency", min_rounds=1, max_time=1.0, warmup=False)
+def test_e4_latency_by_policy(benchmark, scale):
+    result = benchmark.pedantic(
+        latency_by_policy,
+        kwargs=dict(
+            bots=max(20, scale["bots"] // 2),
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"] / 2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    rows = {row["policy"]: row for row in result["rows"]}
+    vanilla_p99 = rows["vanilla"]["net p99 ms"]
+    # Network latency unchanged (no queue build-up added by the middleware):
+    # dyconits actually send *less*, so their packet latency cannot be worse
+    # than vanilla's beyond measurement noise.
+    assert rows["adaptive"]["net p99 ms"] <= vanilla_p99 * 1.10 + 1.0
+    assert rows["zero"]["net p99 ms"] == pytest.approx(vanilla_p99, rel=0.10, abs=1.0)
+    # Queue delay exists only for bounded policies and stays sub-second
+    # (within the distance policy's staleness surface for a 5-chunk view).
+    assert rows["vanilla"]["queue p99 ms"] == 0.0
+    assert rows["adaptive"]["queue p99 ms"] < 1_000.0

@@ -1,0 +1,124 @@
+"""E5 — middleware overhead microbenchmarks.
+
+Regenerates the middleware-overhead table: the real (wall-clock) cost of
+the commit path, the flush path, bound re-derivation, and the memory
+footprint per dyconit. These are the only benchmarks in the suite that
+measure *wall-clock* performance of the implementation itself (everything
+else measures simulated quantities).
+"""
+
+import math
+import sys
+
+import pytest
+
+from repro.core.bounds import Bounds
+from repro.core.manager import DyconitSystem
+from repro.core.policy import Policy
+from repro.core.subscription import Subscriber
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
+
+
+class StaticPolicy(Policy):
+    def __init__(self, bounds):
+        self.bounds = bounds
+
+    def initial_bounds(self, system, dyconit_id, subscriber):
+        return self.bounds
+
+
+def build_system(subscribers: int, bounds: Bounds) -> DyconitSystem:
+    system = DyconitSystem(StaticPolicy(bounds), time_source=lambda: 0.0)
+    for subscriber_id in range(subscribers):
+        subscriber = Subscriber(subscriber_id=subscriber_id, deliver=lambda d, u: None)
+        system.subscribe(("chunk", 0, 0), subscriber)
+    return system
+
+
+def make_moves(count: int):
+    return [
+        EntityMoveEvent(
+            time=float(index),
+            entity_id=index % 16 + 1,
+            old_position=Vec3(0, 0, 0),
+            new_position=Vec3(1, 0, 0),
+        )
+        for index in range(count)
+    ]
+
+
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_commit_throughput_queueing(benchmark):
+    """Commit path with queueing (infinite bounds): enqueue + merge only."""
+    system = build_system(subscribers=50, bounds=Bounds.INFINITE)
+    moves = make_moves(1000)
+
+    def commit_batch():
+        for move in moves:
+            system.commit_to(("chunk", 0, 0), move)
+
+    benchmark(commit_batch)
+    # 1000 commits x 50 subscribers per round.
+    per_enqueue_us = benchmark.stats.stats.mean * 1e6 / (1000 * 50)
+    print(f"\ncommit+enqueue cost: {per_enqueue_us:.2f} us per (update, subscriber)")
+
+
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_commit_throughput_flushing(benchmark):
+    """Commit path under zero bounds: every commit flushes immediately
+    (the vanilla-equivalent worst case for middleware work)."""
+    system = build_system(subscribers=50, bounds=Bounds.ZERO)
+    moves = make_moves(1000)
+
+    def commit_batch():
+        for move in moves:
+            system.commit_to(("chunk", 0, 0), move)
+
+    benchmark(commit_batch)
+
+
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_bound_rederivation(benchmark):
+    """Policy set_bounds sweep across 2,000 subscriptions (what a spatial
+    policy does when a player crosses a chunk border)."""
+    system = build_system(subscribers=2000, bounds=Bounds(10.0, 1000.0))
+    bounds_a = Bounds(10.0, 1000.0)
+    bounds_b = Bounds(20.0, 2000.0)
+    toggle = [False]
+
+    def sweep():
+        toggle[0] = not toggle[0]
+        bounds = bounds_a if toggle[0] else bounds_b
+        for subscriber_id in range(2000):
+            system.set_bounds(("chunk", 0, 0), subscriber_id, bounds)
+
+    benchmark(sweep)
+
+
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_staleness_tick_scales_with_due_flushes_only(benchmark):
+    """tick() must be cheap when nothing is due, regardless of how many
+    subscriptions exist — the 'thin middleware' property."""
+    system = build_system(subscribers=5000, bounds=Bounds(1e9, 1e9))
+    for move in make_moves(100):
+        system.commit_to(("chunk", 0, 0), move)
+
+    benchmark(system.tick)
+    assert benchmark.stats.stats.mean < 0.001  # < 1 ms with 5k subscriptions
+
+
+def test_e5_memory_per_dyconit():
+    """Rough memory footprint of an idle dyconit + subscription state."""
+    from repro.core.dyconit import Dyconit, SubscriptionState
+
+    dyconit = Dyconit(("chunk", 0, 0))
+    subscriber = Subscriber(subscriber_id=1, deliver=lambda d, u: None)
+    state = dyconit.subscribe(subscriber)
+    footprint = (
+        sys.getsizeof(dyconit)
+        + sys.getsizeof(state)
+        + sys.getsizeof(state.pending)
+    )
+    print(f"\napprox. footprint: dyconit + 1 subscription ~ {footprint} bytes")
+    assert footprint < 4096

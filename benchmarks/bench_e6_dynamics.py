@@ -1,0 +1,50 @@
+"""E6 — dynamic policy over time (player burst).
+
+Regenerates the policy-dynamics figure: a base population plays, a burst
+of extra players joins mid-run and leaves later. The adaptive policy's
+looseness factor must rise while the burst is in (shedding load) and fall
+back after it leaves (reclaiming consistency).
+"""
+
+import pytest
+
+from repro.experiments.figures import dynamics_timeline
+from repro.metrics.plot import line_plot
+
+
+@pytest.mark.benchmark(group="e6-dynamics", min_rounds=1, max_time=1.0, warmup=False)
+def test_e6_adaptive_dynamics(benchmark, scale):
+    duration = scale["dynamics_duration_ms"]
+    result = benchmark.pedantic(
+        dynamics_timeline,
+        kwargs=dict(
+            base_bots=max(30, scale["bots"] // 2),
+            # The burst must push the server decisively past the adaptive
+            # policy's high watermark, or there is nothing to observe.
+            burst_bots=2 * scale["bots"] + 40,
+            duration_ms=duration,
+            burst_at_ms=duration / 3,
+            burst_end_ms=2 * duration / 3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    timeline = result["result"]
+    print()
+    print(line_plot(
+        {
+            "players": timeline.player_timeline,
+            "looseness factor (x10)": [
+                (t, 10 * f) for t, f in timeline.factor_timeline
+            ],
+        },
+        title="E6: player burst and the adaptive policy's response",
+        x_label="sim time [ms]",
+    ))
+
+    # The servo reacts: looser during the burst than before it...
+    assert result["factor_during"] > result["factor_before"]
+    # ...and reclaims consistency after the burst leaves.
+    assert result["factor_after"] < result["factor_during"]

@@ -1,0 +1,36 @@
+"""E7 — policy comparison summary table.
+
+Regenerates the one-row-per-policy summary: bandwidth, packet rate, p95
+tick duration, merge ratio, and client-observed inconsistency, all under
+one identical workload.
+"""
+
+import pytest
+
+from repro.experiments.figures import policy_summary_table
+
+
+@pytest.mark.benchmark(group="e7-summary", min_rounds=1, max_time=1.0, warmup=False)
+def test_e7_policy_summary(benchmark, scale):
+    result = benchmark.pedantic(
+        policy_summary_table,
+        kwargs=dict(
+            bots=scale["bots"],
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    rows = {row["policy"]: row for row in result["rows"]}
+    # Pareto story of the paper: the bounded spatial policies sit between
+    # vanilla (max traffic, min error) and infinite (min traffic, max error).
+    assert rows["distance"]["kB/s"] < rows["zero"]["kB/s"]
+    assert rows["distance"]["kB/s"] > rows["infinite"]["kB/s"]
+    assert rows["distance"]["err p99"] < rows["infinite"]["err p99"]
+    # Zero-bounds merges nothing; every bounded policy merges something.
+    assert rows["zero"]["merge %"] == 0.0
+    assert rows["fixed"]["merge %"] > 10.0

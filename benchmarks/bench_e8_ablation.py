@@ -1,0 +1,83 @@
+"""E8 — ablations of the design choices DESIGN.md calls out.
+
+(a) flush-time update merging on/off — merging should be where most of
+    the packet savings come from;
+(b) dyconit granularity (chunk / region / global) — finer granularity
+    targets updates better;
+(c) adaptive policy evaluation period — responsiveness vs overhead.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ablation_granularity,
+    ablation_merging,
+    ablation_policy_period,
+)
+
+
+@pytest.mark.benchmark(group="e8-ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_e8a_merging(benchmark, scale):
+    result = benchmark.pedantic(
+        ablation_merging,
+        kwargs=dict(
+            bots=scale["bots"],
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    with_merge, without_merge = result["rows"]
+    assert with_merge["merging"] == "on"
+    # Merging must remove a meaningful share of packets.
+    assert with_merge["pkts"] < without_merge["pkts"] * 0.9
+    assert without_merge["merge %"] == 0.0
+
+
+@pytest.mark.benchmark(group="e8-ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_e8b_granularity(benchmark, scale):
+    result = benchmark.pedantic(
+        ablation_granularity,
+        kwargs=dict(
+            bots=scale["bots"],
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = {row["granularity"]: row for row in result["rows"]}
+    # Finer partitioning creates more dyconits...
+    assert rows["chunk"]["dyconits"] > rows["region:4"]["dyconits"] > rows["global"]["dyconits"]
+    # ...and the single global dyconit destroys spatial targeting: its
+    # one-bound-fits-all behaviour must cost either traffic or error.
+    assert (
+        rows["global"]["kB/s"] >= rows["chunk"]["kB/s"] * 0.9
+        or rows["global"]["err p99"] >= rows["chunk"]["err p99"]
+    )
+
+
+@pytest.mark.benchmark(group="e8-ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_e8c_policy_period(benchmark, scale):
+    result = benchmark.pedantic(
+        ablation_policy_period,
+        kwargs=dict(
+            bots=scale["bots"],
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"],
+            periods_ms=(250.0, 1000.0, 4000.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    # More frequent evaluation -> more policy work.
+    evals = [row["policy evals"] for row in rows]
+    assert evals == sorted(evals, reverse=True)

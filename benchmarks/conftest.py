@@ -1,0 +1,53 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper's evaluation
+(see DESIGN.md's experiment index) and prints the same rows/series the
+paper reports. Benchmarks are sized to finish in minutes on a laptop;
+pass ``--paper-scale`` to run the full-size versions used for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run experiments at the full scale recorded in EXPERIMENTS.md "
+        "(several minutes per benchmark) instead of the quick CI scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    """Experiment sizing knobs, small by default."""
+    if request.config.getoption("--paper-scale"):
+        return {
+            "bots": 100,
+            "duration_ms": 30_000.0,
+            "warmup_ms": 10_000.0,
+            "capacity_counts": (50, 75, 100, 125, 150, 175, 200),
+            "capacity_duration_ms": 20_000.0,
+            #: Minimum capacity ratio (adaptive / vanilla) asserted by E2.
+            "capacity_min_gain": 1.25,
+            "dynamics_duration_ms": 60_000.0,
+        }
+    return {
+        "bots": 40,
+        "duration_ms": 12_000.0,
+        "warmup_ms": 5_000.0,
+        # The sweep must extend past the adaptive policy's capacity or the
+        # measured gain is clipped at the top of the range.
+        "capacity_counts": (40, 70, 100, 130, 160),
+        "capacity_duration_ms": 12_000.0,
+        # Short measurement windows compress the measured gain: the
+        # vanilla death spiral has not fully developed at the crossing
+        # and the adaptive servo has had few evaluation periods. The
+        # full gain (~+35%, see EXPERIMENTS.md) appears at --paper-scale.
+        "capacity_min_gain": 1.08,
+        "dynamics_duration_ms": 42_000.0,
+    }

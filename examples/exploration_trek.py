@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Exploration trek: the chunk-churn workload.
+
+Players fan out from spawn on long straight treks, constantly loading new
+terrain. Traffic here is dominated by chunk data (state transfer), which
+dyconits do *not* filter — the example shows where the middleware's
+savings do and do not come from, broken down by packet type.
+
+Run:  python examples/exploration_trek.py
+"""
+
+from repro import (
+    DistanceBasedPolicy,
+    GameServer,
+    ServerConfig,
+    Simulation,
+    Workload,
+    WorkloadSpec,
+    ZeroBoundsPolicy,
+)
+from repro.metrics.report import render_table
+
+DURATION_MS = 40_000
+BOTS = 24
+
+
+def run(policy):
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        config=ServerConfig(seed=23, synchronous_delivery=True),
+        policy=policy,
+    )
+    server.start()
+    spec = WorkloadSpec(bots=BOTS, seed=23, movement="trek", spawn_radius=16.0)
+    workload = Workload(sim, server, spec)
+    workload.start()
+    sim.run_until(DURATION_MS)
+    return server
+
+
+def main() -> None:
+    vanilla = run(ZeroBoundsPolicy())
+    dyconit = run(DistanceBasedPolicy())
+
+    kinds = sorted(
+        set(vanilla.transport.bytes_by_kind()) | set(dyconit.transport.bytes_by_kind())
+    )
+    rows = []
+    for kind in kinds:
+        before = vanilla.transport.bytes_by_kind().get(kind, 0)
+        after = dyconit.transport.bytes_by_kind().get(kind, 0)
+        saved = 100.0 * (1 - after / before) if before else 0.0
+        rows.append([kind, before / 1e3, after / 1e3, saved])
+    rows.append([
+        "TOTAL",
+        vanilla.transport.total_bytes() / 1e3,
+        dyconit.transport.total_bytes() / 1e3,
+        100.0 * (1 - dyconit.transport.total_bytes() / vanilla.transport.total_bytes()),
+    ])
+    print(render_table(
+        ["packet type", "vanilla kB", "dyconits kB", "saved %"],
+        rows,
+        title=f"Exploration trek ({BOTS} players): savings by packet type",
+    ))
+    print()
+    print("Chunk data (world download) is untouched - dyconits bound *update*")
+    print("propagation; state transfer is interest management's job in both runs.")
+    print(f"Chunks generated: {dyconit.world.loaded_chunk_count}")
+
+
+if __name__ == "__main__":
+    main()

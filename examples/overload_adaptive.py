@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Overload and adapt: watch the dynamic policy servo in real time.
+
+A base population plays normally; at t=20 s a burst of extra players
+floods in, pushing the server toward its 50 ms tick budget; at t=40 s
+they leave. The adaptive policy's looseness factor rises to shed load and
+falls back to reclaim consistency — printed here as a timeline.
+
+Run:  python examples/overload_adaptive.py
+"""
+
+from repro import (
+    AdaptiveBoundsPolicy,
+    GameServer,
+    ServerConfig,
+    Simulation,
+    Workload,
+    WorkloadSpec,
+)
+
+BASE_BOTS = 60
+BURST_BOTS = 120
+DURATION_MS = 60_000
+
+
+def main() -> None:
+    sim = Simulation()
+    policy = AdaptiveBoundsPolicy()
+    server = GameServer(
+        sim,
+        config=ServerConfig(seed=31, synchronous_delivery=True),
+        policy=policy,
+    )
+    server.start()
+
+    workload = Workload(sim, server, WorkloadSpec(bots=BASE_BOTS, seed=31))
+    workload.start()
+    sim.schedule_at(20_000, lambda: workload.add_bots(BURST_BOTS))
+    sim.schedule_at(40_000, lambda: workload.remove_bots(BURST_BOTS))
+
+    print(f"{'t (s)':>6} | {'players':>7} | {'tick ms':>8} | {'factor':>7} | note")
+    print("-" * 55)
+    last_bytes = 0
+
+    def report() -> None:
+        nonlocal last_bytes
+        note = ""
+        if sim.now == 20_000:
+            note = "<- burst joins"
+        elif sim.now == 40_000:
+            note = "<- burst leaves"
+        print(
+            f"{sim.now / 1000:6.0f} | {server.player_count:7d} | "
+            f"{server.smoothed_tick_ms:8.2f} | {policy.factor:7.2f} | {note}"
+        )
+        if sim.now < DURATION_MS:
+            sim.schedule(2_000, report)
+
+    sim.schedule_at(2_000, report)
+    sim.run_until(DURATION_MS)
+
+    print()
+    print("The factor climbs while the burst is in (bounds loosen, load sheds)")
+    print("and decays back toward vanilla once the burst leaves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Village builders: the high-density MVE-modification scenario.
+
+The paper's motivating hard case: many players crowd a village center and
+*modify* the world (building, digging), which classic interest management
+cannot filter because everyone is inside everyone's area of interest.
+This example runs the same crowded-builders workload under three policies
+and shows how dyconits cut traffic while keeping error bounded — and how
+the AOI strawman keeps traffic low only by letting error grow without
+bound.
+
+Run:  python examples/village_builders.py
+"""
+
+from repro import (
+    DistanceBasedPolicy,
+    GameServer,
+    InterestCutoffPolicy,
+    ServerConfig,
+    Simulation,
+    Workload,
+    WorkloadSpec,
+    ZeroBoundsPolicy,
+)
+from repro.bots.workload import BehaviorMix
+from repro.metrics.report import render_table
+
+DURATION_MS = 30_000
+BOTS = 60
+
+
+def run(policy) -> dict:
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        config=ServerConfig(seed=11, synchronous_delivery=True),
+        policy=policy,
+    )
+    server.start()
+    spec = WorkloadSpec(
+        bots=BOTS,
+        seed=11,
+        movement="hotspot",
+        behavior=BehaviorMix(build=0.10, dig=0.05, chat=0.005),
+        spawn_radius=24.0,  # everybody starts inside the village
+    )
+    workload = Workload(sim, server, spec)
+    workload.start()
+    sim.run_until(DURATION_MS)
+
+    blocks_changed = sum(bot.blocks_placed + bot.blocks_dug for bot in workload.bots)
+    return {
+        "policy": type(policy).__name__,
+        "kB sent": server.transport.total_bytes() / 1e3,
+        "packets": server.transport.total_packets(),
+        "blocks changed": blocks_changed,
+        "merge %": 100.0 * server.dyconits.stats.merge_ratio,
+        "err p99 (blocks)": workload.error_histogram.quantile(0.99),
+    }
+
+
+def main() -> None:
+    rows = [
+        run(ZeroBoundsPolicy()),          # vanilla fidelity, maximum traffic
+        run(InterestCutoffPolicy(2.0)),   # AOI: cheap but unbounded error
+        run(DistanceBasedPolicy()),       # dyconits: cheap AND bounded
+    ]
+    headers = list(rows[0].keys())
+    print(render_table(headers, [[row[h] for h in headers] for row in rows],
+                       title=f"Village builders: {BOTS} players crowding one village"))
+    print()
+    print("Note how the AOI policy's p99 error is an order of magnitude above")
+    print("the distance policy's even though both send far less than vanilla -")
+    print("bounding inconsistency is what dyconits add over interest management.")
+
+
+if __name__ == "__main__":
+    main()

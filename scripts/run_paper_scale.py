@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Run one experiment group at paper scale and archive its tables.
+
+Usage: python scripts/run_paper_scale.py <e1|e2|e3|e4|e6|e7|e8> [outdir]
+
+Writes ``<outdir>/<group>.txt`` with the rendered tables (the numbers
+EXPERIMENTS.md records). Groups are separate processes so they can run
+in parallel. Expect roughly 5-15 minutes per group on a laptop-class
+machine — e1/e7 run eight 100-bot experiments each.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import figures
+
+PAPER = dict(bots=100, duration_ms=20_000.0, warmup_ms=8_000.0, seed=42)
+
+
+def run_group(group: str) -> str:
+    if group == "e1":
+        return figures.bandwidth_by_policy(**PAPER)["table"]
+    if group == "e2":
+        out = figures.capacity_sweep(
+            bot_counts=(50, 75, 100, 125, 150, 175),
+            duration_ms=12_000.0,
+            warmup_ms=6_000.0,
+            seed=42,
+        )
+        lines = [out["table"], ""]
+        for policy, curve in out["curves"].items():
+            lines.append(f"{policy}: " + ", ".join(f"{b}->{p:.1f}ms" for b, p in curve))
+        lines.append(f"capacity gain: {out['capacity_gain_percent']:.1f}%")
+        return "\n".join(lines)
+    if group == "e3":
+        return figures.inconsistency_by_policy(**PAPER)["table"]
+    if group == "e4":
+        params = dict(PAPER)
+        params["bots"] = 60
+        params["duration_ms"] = 20_000.0
+        params["warmup_ms"] = 6_000.0
+        return figures.latency_by_policy(**params)["table"]
+    if group == "e6":
+        out = figures.dynamics_timeline(
+            base_bots=60, burst_bots=120, duration_ms=60_000.0,
+            burst_at_ms=20_000.0, burst_end_ms=40_000.0, seed=42,
+        )
+        return out["table"]
+    if group == "e7":
+        return figures.policy_summary_table(**PAPER)["table"]
+    if group == "e8":
+        parts = [
+            figures.ablation_merging(**PAPER)["table"],
+            figures.ablation_granularity(**PAPER)["table"],
+            figures.ablation_policy_period(**PAPER)["table"],
+        ]
+        return "\n\n".join(parts)
+    raise SystemExit(f"unknown group {group!r}")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    group = sys.argv[1]
+    outdir = Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+    outdir.mkdir(exist_ok=True)
+    table = run_group(group)
+    (outdir / f"{group}.txt").write_text(table + "\n")
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — a full reproduction of *Dyconits: Scaling Minecraft-like
+Services through Dynamically Managed Inconsistency* (ICDCS 2021).
+
+Quickstart::
+
+    from repro import (
+        Simulation, GameServer, ServerConfig, Workload, WorkloadSpec,
+        AdaptiveBoundsPolicy,
+    )
+
+    sim = Simulation()
+    server = GameServer(sim, policy=AdaptiveBoundsPolicy())
+    server.start()
+    workload = Workload(sim, server, WorkloadSpec(bots=50, seed=1))
+    workload.start()
+    sim.run_until(30_000)  # 30 simulated seconds
+    print(server.transport.total_bytes(), "bytes sent")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-reproduction results.
+"""
+
+from repro.core import (
+    Bounds,
+    ChunkPartitioner,
+    Dyconit,
+    DyconitSystem,
+    GlobalPartitioner,
+    LoadSignals,
+    Policy,
+    RegionPartitioner,
+    Subscriber,
+)
+from repro.bots import (
+    BehaviorMix,
+    BotClient,
+    HotspotModel,
+    RandomWaypointModel,
+    TrekModel,
+    Workload,
+    WorkloadSpec,
+)
+from repro.net import LinkConfig, Transport
+from repro.policies import (
+    AdaptiveBoundsPolicy,
+    DistanceBasedPolicy,
+    ElasticPartitioningPolicy,
+    FixedBoundsPolicy,
+    InfiniteBoundsPolicy,
+    InterestCutoffPolicy,
+    ZeroBoundsPolicy,
+)
+from repro.server import CostCoefficients, GameServer, ServerConfig
+from repro.sim import Simulation
+from repro.world import BlockPos, BlockType, ChunkPos, EntityKind, Vec3, World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "World",
+    "Vec3",
+    "BlockPos",
+    "ChunkPos",
+    "BlockType",
+    "EntityKind",
+    "GameServer",
+    "ServerConfig",
+    "CostCoefficients",
+    "LinkConfig",
+    "Transport",
+    "Bounds",
+    "Dyconit",
+    "DyconitSystem",
+    "Subscriber",
+    "Policy",
+    "LoadSignals",
+    "ChunkPartitioner",
+    "RegionPartitioner",
+    "GlobalPartitioner",
+    "ZeroBoundsPolicy",
+    "InfiniteBoundsPolicy",
+    "FixedBoundsPolicy",
+    "DistanceBasedPolicy",
+    "InterestCutoffPolicy",
+    "AdaptiveBoundsPolicy",
+    "ElasticPartitioningPolicy",
+    "BotClient",
+    "Workload",
+    "WorkloadSpec",
+    "BehaviorMix",
+    "HotspotModel",
+    "RandomWaypointModel",
+    "TrekModel",
+    "__version__",
+]

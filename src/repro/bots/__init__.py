@@ -1,0 +1,33 @@
+"""Workload generator (S7): emulated player clients.
+
+A Yardstick-style bot fleet: each bot connects like a player, walks the
+world under a movement model, builds/mines/chats probabilistically, and
+maintains its own *perceived* replica of the world from the packets it
+receives — which lets the experiments measure inconsistency exactly as
+the difference between perception and the authoritative world.
+
+Bot decisions are a pure function of the experiment seed, never of the
+packets received, so two runs with different policies see byte-identical
+action streams — the property the policy comparisons rely on.
+"""
+
+from repro.bots.bot import BotClient, PerceivedWorld
+from repro.bots.movement import (
+    HotspotModel,
+    MovementModel,
+    RandomWaypointModel,
+    TrekModel,
+)
+from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+
+__all__ = [
+    "BotClient",
+    "PerceivedWorld",
+    "MovementModel",
+    "RandomWaypointModel",
+    "HotspotModel",
+    "TrekModel",
+    "Workload",
+    "WorkloadSpec",
+    "BehaviorMix",
+]

@@ -1,0 +1,114 @@
+"""Bot movement models.
+
+All models produce *horizontal* waypoints; bots walk toward the current
+waypoint at Minecraft walking speed and snap to the terrain surface. The
+models differ in where the waypoints land:
+
+* :class:`RandomWaypointModel` — uniform in a disc; spreads players out.
+* :class:`HotspotModel` — waypoints cluster around a few hotspots
+  (village centers), producing the high-density areas the paper calls out
+  as the hard case for interest management.
+* :class:`TrekModel` — a long directed walk; maximizes chunk churn, the
+  exploration workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.world.geometry import Vec3
+
+#: Minecraft walking speed, blocks per second.
+WALK_SPEED = 4.317
+
+
+class MovementModel:
+    """Produces successive waypoints for one bot."""
+
+    def next_waypoint(self, rng: random.Random, position: Vec3) -> Vec3:
+        raise NotImplementedError
+
+
+class RandomWaypointModel(MovementModel):
+    """Uniform waypoints within a disc around a fixed center."""
+
+    def __init__(self, center: Vec3 = Vec3(0.0, 0.0, 0.0), radius: float = 80.0) -> None:
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        self.center = center
+        self.radius = radius
+
+    def next_waypoint(self, rng: random.Random, position: Vec3) -> Vec3:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        # sqrt for uniform density over the disc area.
+        distance = self.radius * math.sqrt(rng.random())
+        return Vec3(
+            self.center.x + distance * math.cos(angle),
+            0.0,
+            self.center.z + distance * math.sin(angle),
+        )
+
+
+class HotspotModel(MovementModel):
+    """Waypoints gravitate toward hotspots (village centers).
+
+    With probability ``gravity`` the next waypoint lands near a hotspot
+    (Gaussian spread ``hotspot_spread``); otherwise it is a uniform
+    wander within ``wander_radius`` of the current position. Hotspot
+    choice is weighted Zipf-style: the first hotspot is the busiest.
+    """
+
+    def __init__(
+        self,
+        hotspots: list[Vec3] | None = None,
+        gravity: float = 0.8,
+        hotspot_spread: float = 12.0,
+        wander_radius: float = 40.0,
+    ) -> None:
+        if not (0.0 <= gravity <= 1.0):
+            raise ValueError(f"gravity must be in [0, 1], got {gravity}")
+        if hotspots is not None and not hotspots:
+            raise ValueError("hotspot list must be non-empty when provided")
+        self.hotspots = (
+            hotspots
+            if hotspots is not None
+            else [Vec3(0.0, 0.0, 0.0), Vec3(96.0, 0.0, 32.0), Vec3(-64.0, 0.0, -96.0)]
+        )
+        self.gravity = gravity
+        self.hotspot_spread = hotspot_spread
+        self.wander_radius = wander_radius
+        # Zipf weights: 1, 1/2, 1/3, ...
+        self._weights = [1.0 / (rank + 1) for rank in range(len(self.hotspots))]
+
+    def next_waypoint(self, rng: random.Random, position: Vec3) -> Vec3:
+        if rng.random() < self.gravity:
+            hotspot = rng.choices(self.hotspots, weights=self._weights)[0]
+            return Vec3(
+                hotspot.x + rng.gauss(0.0, self.hotspot_spread),
+                0.0,
+                hotspot.z + rng.gauss(0.0, self.hotspot_spread),
+            )
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        distance = self.wander_radius * math.sqrt(rng.random())
+        return Vec3(
+            position.x + distance * math.cos(angle),
+            0.0,
+            position.z + distance * math.sin(angle),
+        )
+
+
+class TrekModel(MovementModel):
+    """A mostly straight long-distance walk with small heading noise."""
+
+    def __init__(self, heading_degrees: float = 0.0, leg_length: float = 60.0) -> None:
+        self.heading = math.radians(heading_degrees)
+        self.leg_length = leg_length
+
+    def next_waypoint(self, rng: random.Random, position: Vec3) -> Vec3:
+        heading = self.heading + rng.gauss(0.0, 0.2)
+        return Vec3(
+            position.x + self.leg_length * math.cos(heading),
+            0.0,
+            position.z + self.leg_length * math.sin(heading),
+        )

@@ -1,0 +1,99 @@
+"""Inconsistency bounds.
+
+A bound caps how much inconsistency one subscriber may observe for one
+dyconit. ``Bounds.ZERO`` reproduces vanilla immediate broadcast;
+``Bounds.INFINITE`` suppresses delivery entirely (the upper bound on
+bandwidth savings, used as the strawman in the evaluation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True, slots=True)
+class Bounds:
+    """Per-(dyconit, subscriber) inconsistency bound.
+
+    Attributes:
+        numerical: maximum accumulated update weight before a flush is
+            forced. Zero means every update flushes immediately.
+        staleness_ms: maximum age of the oldest queued update before a
+            flush is forced. Zero means no update may wait for the next
+            tick.
+        order: maximum number of *distinct* pending updates (queue
+            length) — TACT's order-error dimension. Bounding it caps how
+            much batching/reordering a subscriber can observe in one
+            flush. Defaults to unbounded, matching the paper's use of the
+            numerical and staleness dimensions only.
+    """
+
+    numerical: float
+    staleness_ms: float
+    order: float = math.inf
+
+    ZERO: ClassVar["Bounds"]
+    INFINITE: ClassVar["Bounds"]
+
+    def __post_init__(self) -> None:
+        if self.numerical < 0:
+            raise ValueError(f"numerical bound must be >= 0, got {self.numerical}")
+        if self.staleness_ms < 0:
+            raise ValueError(f"staleness bound must be >= 0, got {self.staleness_ms}")
+        if self.order < 0:
+            raise ValueError(f"order bound must be >= 0, got {self.order}")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.numerical == 0.0 and self.staleness_ms == 0.0
+
+    @property
+    def is_infinite(self) -> bool:
+        return (
+            math.isinf(self.numerical)
+            and math.isinf(self.staleness_ms)
+            and math.isinf(self.order)
+        )
+
+    def exceeded_by(
+        self, accumulated_error: float, oldest_age_ms: float, pending_count: int = 0
+    ) -> bool:
+        """True if queued state violates this bound and must flush.
+
+        The comparison is strict-greater for the numerical and order
+        dimensions so a zero bound trips on the first queued update, and
+        greater-or-equal for staleness only when the bound is finite.
+        """
+        if accumulated_error > self.numerical:
+            return True
+        if not math.isinf(self.staleness_ms) and oldest_age_ms >= self.staleness_ms:
+            return True
+        if pending_count > self.order:
+            return True
+        return False
+
+    def scaled(self, factor: float) -> "Bounds":
+        """A bound loosened/tightened multiplicatively (used by adaptive
+        policies). The order dimension scales too; an infinite order bound
+        stays infinite."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return Bounds(
+            self.numerical * factor,
+            self.staleness_ms * factor,
+            self.order if math.isinf(self.order) else self.order * factor,
+        )
+
+    def clamped(self, low: "Bounds", high: "Bounds") -> "Bounds":
+        """Component-wise clamp of this bound into [low, high]."""
+        return Bounds(
+            min(max(self.numerical, low.numerical), high.numerical),
+            min(max(self.staleness_ms, low.staleness_ms), high.staleness_ms),
+            min(max(self.order, low.order), high.order),
+        )
+
+
+Bounds.ZERO = Bounds(0.0, 0.0)
+Bounds.INFINITE = Bounds(math.inf, math.inf)

@@ -1,0 +1,183 @@
+"""The dyconit: one consistency unit with per-subscriber queues.
+
+Each subscriber of a dyconit has a :class:`SubscriptionState` holding
+
+* its current :class:`~repro.core.bounds.Bounds`,
+* a pending-update map keyed by merge key (newest update wins; the
+  superseded one is counted as *merged* — a message saved), and
+* conit accounting: accumulated numerical error and the timestamp of the
+  oldest pending update.
+
+Numerical error accumulates over *every* committed update's weight, not
+just the surviving merged ones: merging reduces bytes, never the
+inconsistency the subscriber is charged for. This keeps the bound
+conservative (optimistic delivery can only be *more* consistent than the
+bound promises), matching the conit model the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, NamedTuple
+
+from repro.core.bounds import Bounds
+from repro.core.subscription import Subscriber
+from repro.core.update import Update
+
+
+class EnqueueResult(NamedTuple):
+    """What happened when an update was queued for one subscriber."""
+
+    superseded: bool  # replaced an older update with the same merge key
+    became_pending: bool  # queue transitioned empty -> non-empty
+
+
+@dataclass
+class SubscriptionState:
+    """Per-(dyconit, subscriber) queue and error accounting."""
+
+    subscriber: Subscriber
+    bounds: Bounds
+    pending: dict[tuple, Update] = field(default_factory=dict)
+    accumulated_error: float = 0.0
+    oldest_pending_time: float | None = None
+    enqueued_count: int = 0
+    merged_count: int = 0
+    #: E8(a) ablation switch: with merging off, every queued update keeps a
+    #: unique key so nothing is ever superseded.
+    merging: bool = True
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    def oldest_age_ms(self, now: float) -> float:
+        if self.oldest_pending_time is None:
+            return 0.0
+        return now - self.oldest_pending_time
+
+    def enqueue(self, update: Update) -> EnqueueResult:
+        """Queue ``update``, merging over any older same-key update."""
+        key = update.merge_key if self.merging else (self.enqueued_count, update.merge_key)
+        superseded = key in self.pending
+        self.pending[key] = update
+        self.accumulated_error += update.weight
+        self.enqueued_count += 1
+        if superseded:
+            self.merged_count += 1
+        became_pending = self.oldest_pending_time is None
+        if became_pending:
+            self.oldest_pending_time = update.time
+        return EnqueueResult(superseded=superseded, became_pending=became_pending)
+
+    def exceeds_bounds(self, now: float) -> bool:
+        if not self.pending:
+            return False
+        return self.bounds.exceeded_by(
+            self.accumulated_error, self.oldest_age_ms(now), len(self.pending)
+        )
+
+    def drain(self) -> list[Update]:
+        """Remove and return pending updates in commit-time order."""
+        updates = sorted(self.pending.values(), key=lambda update: update.time)
+        self.pending.clear()
+        self.accumulated_error = 0.0
+        self.oldest_pending_time = None
+        return updates
+
+
+class Dyconit:
+    """One consistency unit covering a partition of the game world."""
+
+    def __init__(
+        self,
+        dyconit_id: Hashable,
+        default_bounds: Bounds = Bounds.ZERO,
+        merging: bool = True,
+    ) -> None:
+        self.dyconit_id = dyconit_id
+        self.default_bounds = default_bounds
+        self.merging = merging
+        self._subscriptions: dict[int, SubscriptionState] = {}
+        #: Total weight ever committed; a measure of how "hot" this unit
+        #: is, used by workload-aware policies.
+        self.total_committed_weight = 0.0
+        self.commit_count = 0
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscriptions)
+
+    def subscribers(self) -> list[Subscriber]:
+        return [state.subscriber for state in self._subscriptions.values()]
+
+    def subscription_states(self) -> list[SubscriptionState]:
+        return list(self._subscriptions.values())
+
+    def is_subscribed(self, subscriber_id: int) -> bool:
+        return subscriber_id in self._subscriptions
+
+    def subscribe(self, subscriber: Subscriber, bounds: Bounds | None = None) -> SubscriptionState:
+        """Add ``subscriber``; idempotent (re-subscribing keeps the queue)."""
+        state = self._subscriptions.get(subscriber.subscriber_id)
+        if state is not None:
+            if bounds is not None:
+                state.bounds = bounds
+            return state
+        state = SubscriptionState(
+            subscriber=subscriber,
+            bounds=bounds if bounds is not None else self.default_bounds,
+            merging=self.merging,
+        )
+        self._subscriptions[subscriber.subscriber_id] = state
+        return state
+
+    def unsubscribe(self, subscriber_id: int) -> SubscriptionState | None:
+        """Remove the subscription; returns its final state (with any
+        still-pending updates) so the caller can decide to flush or drop."""
+        return self._subscriptions.pop(subscriber_id, None)
+
+    def get_state(self, subscriber_id: int) -> SubscriptionState | None:
+        return self._subscriptions.get(subscriber_id)
+
+    def set_bounds(self, subscriber_id: int, bounds: Bounds) -> None:
+        state = self._subscriptions.get(subscriber_id)
+        if state is None:
+            raise KeyError(
+                f"subscriber {subscriber_id} is not subscribed to {self.dyconit_id}"
+            )
+        state.bounds = bounds
+
+    # ------------------------------------------------------------------
+    # Commit path
+    # ------------------------------------------------------------------
+
+    def commit(
+        self, update: Update, exclude_subscriber: int | None = None
+    ) -> list[tuple[SubscriptionState, EnqueueResult]]:
+        """Enqueue ``update`` for every subscriber.
+
+        ``exclude_subscriber`` skips the update's originator (a player
+        does not need its own action echoed back). Returns the touched
+        states with their enqueue outcomes so the manager can run bound
+        checks and merge accounting without a second lookup.
+        """
+        self.total_committed_weight += update.weight
+        self.commit_count += 1
+        touched: list[tuple[SubscriptionState, EnqueueResult]] = []
+        for subscriber_id, state in self._subscriptions.items():
+            if subscriber_id == exclude_subscriber:
+                continue
+            result = state.enqueue(update)
+            touched.append((state, result))
+        return touched
+
+    def __repr__(self) -> str:
+        return (
+            f"Dyconit({self.dyconit_id!r}, subscribers={self.subscriber_count}, "
+            f"commits={self.commit_count})"
+        )

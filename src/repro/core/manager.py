@@ -1,0 +1,467 @@
+"""The DyconitSystem: middleware facade the game integrates with.
+
+Responsibilities:
+
+* owns all dyconits and the event→dyconit partitioning;
+* runs the commit path (enqueue + numerical-bound check + flush);
+* runs the tick path (staleness-bound checks via a deadline heap, and
+  periodic policy evaluation);
+* manages subscriptions, including flush-on-unsubscribe semantics; and
+* exposes :class:`~repro.core.stats.DyconitStats` to the evaluation.
+
+Performance note: staleness deadlines live in a lazy min-heap keyed by
+``oldest_pending_time + staleness_bound``. The tick only examines entries
+that are due, so tick cost scales with the number of *flushes*, not with
+the number of subscriptions — the property that keeps the middleware
+"thin" as the paper requires.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Hashable, Iterator, Sequence
+
+from repro.core.bounds import Bounds
+from repro.core.dyconit import Dyconit, SubscriptionState
+from repro.core.partition import ChunkPartitioner, DyconitPartitioner
+from repro.core.policy import LoadSignals, Policy
+from repro.core.stats import DyconitStats
+from repro.core.subscription import Subscriber
+from repro.core.update import Update
+
+
+class DyconitSystem:
+    """Middleware instance serving one game server."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        partitioner: DyconitPartitioner | None = None,
+        time_source: Callable[[], float] | None = None,
+        merging_enabled: bool = True,
+    ) -> None:
+        self.policy = policy
+        self.partitioner = partitioner if partitioner is not None else ChunkPartitioner()
+        #: E8(a) ablation switch; affects dyconits created after the change.
+        self.merging_enabled = merging_enabled
+        self._time_source = time_source if time_source is not None else (lambda: 0.0)
+        self._dyconits: dict[Hashable, Dyconit] = {}
+        #: Runtime repartitioning: source id -> merged target id. Commits
+        #: and (un)subscriptions resolve through this table, so policies
+        #: can merge cold dyconits and split them again live.
+        self._aliases: dict[Hashable, Hashable] = {}
+        self._subscribers: dict[int, Subscriber] = {}
+        #: dyconit ids each subscriber currently subscribes to.
+        self._subscriptions_by_subscriber: dict[int, set[Hashable]] = {}
+        #: Lazy staleness-deadline heap: (deadline, seq, dyconit_id, subscriber_id).
+        self._deadline_heap: list[tuple[float, int, Hashable, int]] = []
+        self._heap_seq = 0
+        self._last_policy_evaluation = -math.inf
+        self.stats = DyconitStats()
+        #: Optional DyconitTracer recording middleware decisions.
+        self.tracer = None
+        policy.on_attach(self)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._time_source()
+
+    # ------------------------------------------------------------------
+    # Dyconit lifecycle
+    # ------------------------------------------------------------------
+
+    def resolve(self, dyconit_id: Hashable) -> Hashable:
+        """Follow merge aliases to the dyconit that currently owns ``dyconit_id``."""
+        seen = set()
+        while dyconit_id in self._aliases:
+            if dyconit_id in seen:  # defensive: a cycle would hang commits
+                raise RuntimeError(f"alias cycle involving {dyconit_id!r}")
+            seen.add(dyconit_id)
+            dyconit_id = self._aliases[dyconit_id]
+        return dyconit_id
+
+    def get_or_create(self, dyconit_id: Hashable) -> Dyconit:
+        dyconit = self._dyconits.get(dyconit_id)
+        if dyconit is None:
+            dyconit = Dyconit(dyconit_id, merging=self.merging_enabled)
+            self._dyconits[dyconit_id] = dyconit
+            self.stats.dyconits_created += 1
+        return dyconit
+
+    def get(self, dyconit_id: Hashable) -> Dyconit | None:
+        return self._dyconits.get(dyconit_id)
+
+    def remove_dyconit(self, dyconit_id: Hashable, flush_pending: bool = True) -> None:
+        dyconit = self._dyconits.pop(dyconit_id, None)
+        if dyconit is None:
+            return
+        for state in dyconit.subscription_states():
+            if flush_pending and state.has_pending:
+                self._deliver(dyconit_id, state, reason="forced")
+            membership = self._subscriptions_by_subscriber.get(
+                state.subscriber.subscriber_id
+            )
+            if membership is not None:
+                membership.discard(dyconit_id)
+        self.stats.dyconits_removed += 1
+
+    def dyconits(self) -> Iterator[Dyconit]:
+        return iter(self._dyconits.values())
+
+    @property
+    def dyconit_count(self) -> int:
+        return len(self._dyconits)
+
+    # ------------------------------------------------------------------
+    # Runtime repartitioning (merge / split)
+    # ------------------------------------------------------------------
+
+    def merge_dyconits(self, source_ids: Sequence[Hashable], target_id: Hashable) -> Dyconit:
+        """Merge ``source_ids`` into one dyconit under ``target_id``.
+
+        Subscribers of every source are re-subscribed to the target with
+        the component-wise *tightest* of their bounds (merging must never
+        loosen a promise), pending updates move across, and future
+        commits to a source id are aliased to the target. Policies use
+        this to collapse cold areas into coarse units and cut bookkeeping.
+        """
+        target_id = self.resolve(target_id)
+        target = self.get_or_create(target_id)
+        for source_id in source_ids:
+            source_id = self.resolve(source_id)
+            if source_id == target_id:
+                continue
+            self._aliases[source_id] = target_id
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.now, "merge", source_id, detail=f"into {target_id!r}"
+                )
+            source = self._dyconits.pop(source_id, None)
+            if source is None:
+                continue
+            target.total_committed_weight += source.total_committed_weight
+            target.commit_count += source.commit_count
+            for state in source.subscription_states():
+                subscriber = state.subscriber
+                membership = self._subscriptions_by_subscriber.get(
+                    subscriber.subscriber_id
+                )
+                if membership is not None:
+                    membership.discard(source_id)
+                existing = target.get_state(subscriber.subscriber_id)
+                if existing is None:
+                    merged_state = target.subscribe(subscriber, state.bounds)
+                    if membership is not None:
+                        membership.add(target_id)
+                else:
+                    merged_state = existing
+                    merged_state.bounds = Bounds(
+                        min(existing.bounds.numerical, state.bounds.numerical),
+                        min(existing.bounds.staleness_ms, state.bounds.staleness_ms),
+                        min(existing.bounds.order, state.bounds.order),
+                    )
+                if state.has_pending:
+                    for update in state.drain():
+                        merged_state.enqueue(update)
+                    self._push_deadline(target_id, merged_state)
+            self.stats.dyconits_removed += 1
+        return target
+
+    def split_dyconit(self, target_id: Hashable) -> list[Hashable]:
+        """Undo a merge: release every id aliased to ``target_id``.
+
+        The target's subscribers are re-subscribed to each released id
+        (with their current bounds) so no updates are lost between the
+        split and the next interest refresh; the target is then removed,
+        flushing anything still queued.
+        """
+        sources = [
+            source for source, target in self._aliases.items() if target == target_id
+        ]
+        for source_id in sources:
+            del self._aliases[source_id]
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.now, "split", source_id, detail=f"out of {target_id!r}"
+                )
+        target = self._dyconits.get(target_id)
+        if target is not None:
+            for state in target.subscription_states():
+                for source_id in sources:
+                    self.subscribe(source_id, state.subscriber, bounds=state.bounds)
+            self.remove_dyconit(target_id)
+        return sources
+
+    def is_merged(self, dyconit_id: Hashable) -> bool:
+        return dyconit_id in self._aliases
+
+    @property
+    def alias_count(self) -> int:
+        return len(self._aliases)
+
+    # ------------------------------------------------------------------
+    # Subscribers
+    # ------------------------------------------------------------------
+
+    def register_subscriber(self, subscriber: Subscriber) -> None:
+        if subscriber.subscriber_id in self._subscribers:
+            raise ValueError(f"subscriber {subscriber.subscriber_id} already registered")
+        self._subscribers[subscriber.subscriber_id] = subscriber
+        self._subscriptions_by_subscriber[subscriber.subscriber_id] = set()
+
+    def remove_subscriber(self, subscriber_id: int, flush_pending: bool = False) -> None:
+        """Drop a subscriber from every dyconit (player disconnect).
+
+        ``flush_pending=False`` by default: a disconnecting player's
+        socket is gone, so pending updates are dropped, not sent.
+        """
+        membership = self._subscriptions_by_subscriber.pop(subscriber_id, set())
+        for dyconit_id in list(membership):
+            dyconit = self._dyconits.get(dyconit_id)
+            if dyconit is None:
+                continue
+            state = dyconit.unsubscribe(subscriber_id)
+            if state is not None:
+                if flush_pending and state.has_pending:
+                    self._deliver(dyconit_id, state, reason="forced")
+                self.stats.unsubscriptions += 1
+        self._subscribers.pop(subscriber_id, None)
+
+    def subscriber(self, subscriber_id: int) -> Subscriber | None:
+        return self._subscribers.get(subscriber_id)
+
+    def subscribers(self) -> Iterator[Subscriber]:
+        return iter(self._subscribers.values())
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def subscriptions_of(self, subscriber_id: int) -> set[Hashable]:
+        return set(self._subscriptions_by_subscriber.get(subscriber_id, set()))
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        dyconit_id: Hashable,
+        subscriber: Subscriber,
+        bounds: Bounds | None = None,
+    ) -> SubscriptionState:
+        """Subscribe; bounds default to ``policy.initial_bounds``."""
+        if subscriber.subscriber_id not in self._subscribers:
+            self.register_subscriber(subscriber)
+        dyconit_id = self.resolve(dyconit_id)
+        dyconit = self.get_or_create(dyconit_id)
+        if bounds is None:
+            bounds = self.policy.initial_bounds(self, dyconit_id, subscriber)
+        already = dyconit.is_subscribed(subscriber.subscriber_id)
+        state = dyconit.subscribe(subscriber, bounds)
+        if not already:
+            self._subscriptions_by_subscriber[subscriber.subscriber_id].add(dyconit_id)
+            self.stats.subscriptions += 1
+        return state
+
+    def unsubscribe(
+        self, dyconit_id: Hashable, subscriber_id: int, flush_pending: bool = True
+    ) -> None:
+        dyconit_id = self.resolve(dyconit_id)
+        dyconit = self._dyconits.get(dyconit_id)
+        if dyconit is None:
+            return
+        state = dyconit.unsubscribe(subscriber_id)
+        if state is None:
+            return
+        if flush_pending and state.has_pending:
+            self._deliver(dyconit_id, state, reason="forced")
+        membership = self._subscriptions_by_subscriber.get(subscriber_id)
+        if membership is not None:
+            membership.discard(dyconit_id)
+        self.stats.unsubscriptions += 1
+
+    def set_bounds(self, dyconit_id: Hashable, subscriber_id: int, bounds: Bounds) -> None:
+        """Update one subscription's bounds; re-checks immediately so a
+        tightened bound takes effect without waiting for the next commit."""
+        dyconit_id = self.resolve(dyconit_id)
+        dyconit = self._dyconits.get(dyconit_id)
+        if dyconit is None:
+            return
+        state = dyconit.get_state(subscriber_id)
+        if state is None:
+            return
+        state.bounds = bounds
+        if self.tracer is not None:
+            self.tracer.record(
+                self.now, "bounds", dyconit_id, subscriber_id,
+                detail=f"numerical={bounds.numerical:g} staleness={bounds.staleness_ms:g}",
+            )
+        if state.has_pending:
+            now = self.now
+            self.stats.bound_checks += 1
+            if state.exceeds_bounds(now):
+                reason = (
+                    "numerical"
+                    if state.accumulated_error > bounds.numerical
+                    else "staleness"
+                )
+                self._deliver(dyconit_id, state, reason=reason)
+            else:
+                self._push_deadline(dyconit_id, state)
+
+    # ------------------------------------------------------------------
+    # Commit path
+    # ------------------------------------------------------------------
+
+    def commit(self, update: Update, exclude_subscriber: int | None = None) -> Hashable:
+        """Commit an update, routing it through the partitioner.
+
+        Returns the dyconit id the update was committed to.
+        """
+        dyconit_id = self.partitioner.dyconit_for_event(update)
+        self.commit_to(dyconit_id, update, exclude_subscriber)
+        return dyconit_id
+
+    def commit_to(
+        self, dyconit_id: Hashable, update: Update, exclude_subscriber: int | None = None
+    ) -> None:
+        """Commit an update to an explicit dyconit."""
+        dyconit_id = self.resolve(dyconit_id)
+        dyconit = self.get_or_create(dyconit_id)
+        self.stats.commits += 1
+        touched = dyconit.commit(update, exclude_subscriber)
+        if not touched:
+            return
+        now = self.now
+        for state, result in touched:
+            self.stats.updates_enqueued += 1
+            if result.superseded:
+                self.stats.updates_merged += 1
+            self.stats.bound_checks += 1
+            if state.exceeds_bounds(now):
+                reason = (
+                    "numerical"
+                    if state.accumulated_error > state.bounds.numerical
+                    else "staleness"
+                )
+                self._deliver(dyconit_id, state, reason=reason)
+            elif result.became_pending:
+                self._push_deadline(dyconit_id, state)
+
+    # ------------------------------------------------------------------
+    # Tick path
+    # ------------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Run due staleness flushes; returns the number performed.
+
+        Policy evaluation is separate (:meth:`evaluate_policy`) because it
+        needs load signals only the server can supply; unit tests can tick
+        the middleware without a server.
+        """
+        return self._flush_due_deadlines(self.now)
+
+    def evaluate_policy(self, signals: LoadSignals) -> bool:
+        """Run the policy if its evaluation period has elapsed."""
+        if signals.now - self._last_policy_evaluation < self.policy.evaluation_period_ms:
+            return False
+        self._last_policy_evaluation = signals.now
+        self.policy.evaluate(self, signals)
+        self.stats.policy_evaluations += 1
+        return True
+
+    def notify_subscriber_moved(self, subscriber_id: int) -> None:
+        subscriber = self._subscribers.get(subscriber_id)
+        if subscriber is not None:
+            self.policy.on_subscriber_moved(self, subscriber)
+
+    def _flush_due_deadlines(self, now: float) -> int:
+        flushed = 0
+        heap = self._deadline_heap
+        while heap and heap[0][0] <= now:
+            __, __, dyconit_id, subscriber_id = heapq.heappop(heap)
+            dyconit = self._dyconits.get(dyconit_id)
+            if dyconit is None:
+                continue
+            state = dyconit.get_state(subscriber_id)
+            if state is None or not state.has_pending:
+                continue  # lazy entry: already flushed or unsubscribed
+            self.stats.bound_checks += 1
+            if state.exceeds_bounds(now):
+                self._deliver(dyconit_id, state, reason="staleness")
+                flushed += 1
+            else:
+                # Deadline moved (bounds loosened or queue drained and
+                # refilled); push the fresh deadline.
+                self._push_deadline(dyconit_id, state)
+        return flushed
+
+    def _push_deadline(self, dyconit_id: Hashable, state: SubscriptionState) -> None:
+        if state.oldest_pending_time is None:
+            return
+        if math.isinf(state.bounds.staleness_ms):
+            return
+        deadline = state.oldest_pending_time + state.bounds.staleness_ms
+        self._heap_seq += 1
+        heapq.heappush(
+            self._deadline_heap,
+            (deadline, self._heap_seq, dyconit_id, state.subscriber.subscriber_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def flush(self, dyconit_id: Hashable, subscriber_id: int) -> None:
+        """Force-flush one subscription (used by policies and shutdown)."""
+        dyconit_id = self.resolve(dyconit_id)
+        dyconit = self._dyconits.get(dyconit_id)
+        if dyconit is None:
+            return
+        state = dyconit.get_state(subscriber_id)
+        if state is not None and state.has_pending:
+            self._deliver(dyconit_id, state, reason="forced")
+
+    def flush_subscriber(self, subscriber_id: int) -> None:
+        """Force-flush everything queued for one subscriber."""
+        for dyconit_id in self.subscriptions_of(subscriber_id):
+            self.flush(dyconit_id, subscriber_id)
+
+    def flush_all(self) -> None:
+        """Force-flush every queue (end-of-run barrier in experiments)."""
+        for dyconit_id, dyconit in list(self._dyconits.items()):
+            for state in dyconit.subscription_states():
+                if state.has_pending:
+                    self._deliver(dyconit_id, state, reason="forced")
+
+    def _deliver(
+        self, dyconit_id: Hashable, state: SubscriptionState, reason: str
+    ) -> None:
+        updates = state.drain()
+        if not updates:
+            return
+        now = self.now
+        self.stats.flushes += 1
+        if reason == "numerical":
+            self.stats.flushes_numerical += 1
+        elif reason == "staleness":
+            self.stats.flushes_staleness += 1
+        else:
+            self.stats.flushes_forced += 1
+        self.stats.updates_delivered += len(updates)
+        self.stats.per_flush_batch_sizes.append(len(updates))
+        for update in updates:
+            self.stats.queue_delay_total_ms += max(0.0, now - update.time)
+            self.stats.queue_delay_samples += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                now, "flush", dyconit_id, state.subscriber.subscriber_id,
+                detail=f"reason={reason} updates={len(updates)}",
+            )
+        state.subscriber.deliver(dyconit_id, updates)

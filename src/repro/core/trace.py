@@ -1,0 +1,81 @@
+"""Middleware decision tracing.
+
+An opt-in, bounded-memory recorder of what the middleware decided and
+why: flushes (with the bound dimension that tripped), bound changes, and
+repartitioning operations. Attach with ``system.tracer = DyconitTracer()``
+— when no tracer is attached the hot paths pay a single ``is None`` check.
+
+Intended for policy debugging ("why did this subscriber's queue flush
+every tick?") and for the worked examples; experiments leave it off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One middleware decision."""
+
+    time: float
+    kind: str  # "flush" | "bounds" | "merge" | "split" | "subscribe" | "unsubscribe"
+    dyconit_id: Hashable
+    subscriber_id: int | None = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        subscriber = f" sub={self.subscriber_id}" if self.subscriber_id is not None else ""
+        return f"[{self.time:10.1f}ms] {self.kind:<11} {self.dyconit_id!r}{subscriber} {self.detail}"
+
+
+class DyconitTracer:
+    """Ring buffer of :class:`TraceEvent` with per-kind counters."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.counts: dict[str, int] = {}
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        dyconit_id: Hashable,
+        subscriber_id: int | None = None,
+        detail: str = "",
+    ) -> None:
+        self._events.append(
+            TraceEvent(
+                time=time,
+                kind=kind,
+                dyconit_id=dyconit_id,
+                subscriber_id=subscriber_id,
+                detail=detail,
+            )
+        )
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: str | None = None, dyconit_id: Hashable | None = None) -> list[TraceEvent]:
+        """Filtered view of the retained events."""
+        return [
+            event
+            for event in self._events
+            if (kind is None or event.kind == kind)
+            and (dyconit_id is None or event.dyconit_id == dyconit_id)
+        ]
+
+    def format_tail(self, count: int = 20) -> str:
+        """The last ``count`` events, one per line."""
+        tail = list(self._events)[-count:]
+        return "\n".join(str(event) for event in tail)

@@ -1,0 +1,31 @@
+"""The update abstraction the middleware propagates.
+
+The middleware is deliberately decoupled from the game: anything with a
+merge key, a numerical-error weight, and a timestamp can be committed.
+:class:`~repro.world.events.WorldEvent` satisfies this protocol, so the
+game server commits world events directly without wrapping.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Update(Protocol):
+    """Structural interface for anything committable to a dyconit."""
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the update was produced."""
+        ...
+
+    @property
+    def merge_key(self) -> tuple:
+        """Updates sharing a merge key supersede older ones at flush."""
+        ...
+
+    @property
+    def weight(self) -> float:
+        """Contribution to conit numerical error while undelivered."""
+        ...

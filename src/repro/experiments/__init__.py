@@ -1,0 +1,45 @@
+"""Experiment harness (S9).
+
+One :class:`ExperimentConfig` describes a complete run (server, policy,
+partitioner, workload, measurement window); :func:`run_experiment`
+executes it inside a fresh simulation and returns an
+:class:`ExperimentResult` with every quantity the paper's tables and
+figures report. The per-figure drivers live in
+:mod:`repro.experiments.figures` and are invoked by the ``benchmarks/``
+targets listed in DESIGN.md.
+"""
+
+from repro.experiments.configs import (
+    ExperimentConfig,
+    make_partitioner,
+    make_policy,
+)
+from repro.experiments.figures import (
+    ablation_granularity,
+    ablation_merging,
+    ablation_policy_period,
+    bandwidth_by_policy,
+    capacity_sweep,
+    dynamics_timeline,
+    inconsistency_by_policy,
+    latency_by_policy,
+    policy_summary_table,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "make_policy",
+    "make_partitioner",
+    "bandwidth_by_policy",
+    "capacity_sweep",
+    "inconsistency_by_policy",
+    "latency_by_policy",
+    "policy_summary_table",
+    "dynamics_timeline",
+    "ablation_merging",
+    "ablation_granularity",
+    "ablation_policy_period",
+]

@@ -1,0 +1,121 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures from a terminal::
+
+    python -m repro.experiments e1 --bots 100 --duration 30
+    python -m repro.experiments e2 --counts 50,100,150,200
+    python -m repro.experiments all --bots 40 --duration 15
+
+Each command prints the same rows the corresponding ``benchmarks/``
+target asserts on (the benchmarks add the shape checks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bots", type=int, default=60, help="fleet size")
+    parser.add_argument(
+        "--duration", type=float, default=20.0, help="run length in simulated seconds"
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=None,
+        help="measurement warmup in simulated seconds (default: duration/3)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _window(args) -> dict:
+    duration_ms = args.duration * 1000.0
+    warmup_ms = args.warmup * 1000.0 if args.warmup is not None else duration_ms / 3.0
+    return dict(
+        bots=args.bots, duration_ms=duration_ms, warmup_ms=warmup_ms, seed=args.seed
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="regenerate the Dyconits paper's tables and figures",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    for name, help_text in (
+        ("e1", "bandwidth by policy (claim: up to -85%)"),
+        ("e3", "client-observed inconsistency by policy"),
+        ("e4", "latency: network CDF + middleware queue delay"),
+        ("e6", "adaptive policy dynamics under a player burst"),
+        ("e7", "policy summary table"),
+        ("e8a", "ablation: update merging on/off"),
+        ("e8b", "ablation: dyconit granularity"),
+        ("e8c", "ablation: policy evaluation period"),
+        ("all", "run every experiment above in sequence"),
+    ):
+        sub_parser = sub.add_parser(name, help=help_text)
+        _common(sub_parser)
+
+    e2 = sub.add_parser("e2", help="player capacity sweep (claim: up to +40%)")
+    _common(e2)
+    e2.add_argument(
+        "--counts", default="50,100,150,200",
+        help="comma-separated player counts to sweep",
+    )
+
+    args = parser.parse_args(argv)
+    window = _window(args)
+
+    def run_one(name: str) -> None:
+        if name == "e1":
+            print(figures.bandwidth_by_policy(**window)["table"])
+        elif name == "e2":
+            counts = tuple(int(c) for c in args.counts.split(","))
+            out = figures.capacity_sweep(
+                bot_counts=counts,
+                duration_ms=window["duration_ms"],
+                warmup_ms=window["warmup_ms"],
+                seed=window["seed"],
+            )
+            print(out["table"])
+        elif name == "e3":
+            print(figures.inconsistency_by_policy(**window)["table"])
+        elif name == "e4":
+            print(figures.latency_by_policy(**window)["table"])
+        elif name == "e6":
+            duration = window["duration_ms"]
+            out = figures.dynamics_timeline(
+                base_bots=window["bots"],
+                burst_bots=window["bots"] * 2,
+                duration_ms=max(duration, 45_000.0),
+                burst_at_ms=max(duration, 45_000.0) / 3,
+                burst_end_ms=2 * max(duration, 45_000.0) / 3,
+                seed=window["seed"],
+            )
+            print(out["table"])
+        elif name == "e7":
+            print(figures.policy_summary_table(**window)["table"])
+        elif name == "e8a":
+            print(figures.ablation_merging(**window)["table"])
+        elif name == "e8b":
+            print(figures.ablation_granularity(**window)["table"])
+        elif name == "e8c":
+            print(figures.ablation_policy_period(**window)["table"])
+        else:
+            raise ValueError(f"unknown experiment {name!r}")
+
+    if args.experiment == "all":
+        for name in ("e1", "e3", "e4", "e6", "e7", "e8a", "e8b", "e8c"):
+            print(f"=== {name} ===")
+            run_one(name)
+            print()
+    else:
+        run_one(args.experiment)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

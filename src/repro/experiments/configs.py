@@ -1,0 +1,128 @@
+"""Experiment configuration and factories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.bots.workload import BUILDER_MIX, BehaviorMix, WorkloadSpec
+from repro.core.bounds import Bounds
+from repro.core.partition import (
+    ChunkPartitioner,
+    DyconitPartitioner,
+    GlobalPartitioner,
+    RegionPartitioner,
+)
+from repro.core.policy import Policy
+from repro.policies import (
+    AdaptiveBoundsPolicy,
+    DistanceBasedPolicy,
+    ElasticPartitioningPolicy,
+    FixedBoundsPolicy,
+    InfiniteBoundsPolicy,
+    InterestCutoffPolicy,
+    ZeroBoundsPolicy,
+)
+from repro.server.config import ServerConfig
+from repro.server.costmodel import CostCoefficients
+
+#: Policy names accepted by :func:`make_policy`, in presentation order.
+POLICY_NAMES = (
+    "vanilla", "zero", "infinite", "fixed", "aoi", "distance", "adaptive", "elastic",
+)
+
+
+def make_policy(name: str, **kwargs) -> Policy | None:
+    """Instantiate a policy by its experiment name.
+
+    ``"vanilla"`` returns ``None``: the runner then puts the server in
+    direct mode (no middleware at all).
+    """
+    factories = {
+        "zero": ZeroBoundsPolicy,
+        "infinite": InfiniteBoundsPolicy,
+        "fixed": FixedBoundsPolicy,
+        "aoi": InterestCutoffPolicy,
+        "distance": DistanceBasedPolicy,
+        "adaptive": AdaptiveBoundsPolicy,
+        "elastic": ElasticPartitioningPolicy,
+    }
+    if name == "vanilla":
+        return None
+    if name not in factories:
+        raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
+    return factories[name](**kwargs)
+
+
+def make_partitioner(name: str) -> DyconitPartitioner:
+    """``"chunk"``, ``"region:N"``, or ``"global"``."""
+    if name == "chunk":
+        return ChunkPartitioner()
+    if name == "global":
+        return GlobalPartitioner()
+    if name.startswith("region:"):
+        return RegionPartitioner(region_size=int(name.split(":", 1)[1]))
+    raise ValueError(f"unknown partitioner {name!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to run one experiment point."""
+
+    name: str = "experiment"
+    policy: str = "adaptive"
+    policy_kwargs: dict = field(default_factory=dict)
+    partitioner: str = "chunk"
+    merging_enabled: bool = True
+
+    bots: int = 50
+    movement: str = "hotspot"
+    behavior: BehaviorMix = field(default_factory=lambda: BUILDER_MIX)
+    act_interval_ms: float = 100.0
+    mob_count: int = 0
+
+    duration_ms: float = 30_000.0
+    #: Measurements (bandwidth rate, tick percentiles) use the window
+    #: [warmup_ms, duration_ms); the join burst and policy settling are
+    #: excluded, matching how the paper reports steady-state numbers.
+    warmup_ms: float = 10_000.0
+    seed: int = 42
+    view_distance: int = 5
+    synchronous_delivery: bool = True
+    record_latencies: bool = False
+    cost: CostCoefficients = field(default_factory=CostCoefficients)
+    fixed_bounds: Bounds | None = None
+
+    def __post_init__(self) -> None:
+        if self.warmup_ms >= self.duration_ms:
+            raise ValueError(
+                f"warmup ({self.warmup_ms}) must be shorter than the run "
+                f"({self.duration_ms})"
+            )
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """A copy with fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    def build_policy(self) -> Policy | None:
+        kwargs = dict(self.policy_kwargs)
+        if self.policy == "fixed" and self.fixed_bounds is not None:
+            kwargs.setdefault("bounds", self.fixed_bounds)
+        return make_policy(self.policy, **kwargs)
+
+    def build_server_config(self) -> ServerConfig:
+        return ServerConfig(
+            view_distance=self.view_distance,
+            mob_count=self.mob_count,
+            synchronous_delivery=self.synchronous_delivery,
+            cost=self.cost,
+            seed=self.seed,
+        )
+
+    def build_workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            bots=self.bots,
+            seed=self.seed,
+            movement=self.movement,
+            behavior=self.behavior,
+            act_interval_ms=self.act_interval_ms,
+        )

@@ -1,0 +1,202 @@
+"""Experiment execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bots.workload import Workload
+from repro.experiments.configs import ExperimentConfig, make_partitioner
+from repro.metrics.summary import Summary, describe
+from repro.server.engine import GameServer
+from repro.sim.simulator import Simulation
+from repro.world.world import World
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one experiment point."""
+
+    config: ExperimentConfig
+
+    # Traffic (whole run and steady-state window).
+    bytes_total: int = 0
+    packets_total: int = 0
+    steady_bytes_per_second: float = 0.0
+    steady_packets_per_second: float = 0.0
+    steady_bytes_per_player_per_second: float = 0.0
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    packets_by_kind: dict[str, int] = field(default_factory=dict)
+
+    # Server health over the steady window.
+    tick_duration: Summary = field(default_factory=lambda: describe([]))
+    effective_tick_rate_hz: float = 0.0
+
+    # Middleware behaviour.
+    dyconit_stats: dict[str, float] = field(default_factory=dict)
+    update_queue_delay_p50_ms: float = 0.0
+    update_queue_delay_p99_ms: float = 0.0
+
+    # Client-observed inconsistency.
+    positional_error_mean: float = 0.0
+    positional_error_p95: float = 0.0
+    positional_error_p99: float = 0.0
+    positional_error_max: float = 0.0
+    staleness_p50_ms: float = 0.0
+    staleness_p99_ms: float = 0.0
+
+    # Network latency (only when config.record_latencies).
+    packet_latency: Summary = field(default_factory=lambda: describe([]))
+
+    # Timelines for the dynamics figure.
+    bandwidth_timeline: list[tuple[float, float]] = field(default_factory=list)
+    player_timeline: list[tuple[float, float]] = field(default_factory=list)
+    tick_timeline: list[tuple[float, float]] = field(default_factory=list)
+    factor_timeline: list[tuple[float, float]] = field(default_factory=list)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat row used by the table-producing figures."""
+        return {
+            "policy": self.config.policy,
+            "bots": self.config.bots,
+            "kB/s": self.steady_bytes_per_second / 1e3,
+            "pkts/s": self.steady_packets_per_second,
+            "p95 tick ms": self.tick_duration.p95,
+            "merge %": 100.0 * self.dyconit_stats.get("merge_ratio", 0.0),
+            "err p99": self.positional_error_p99,
+            "stale p99 ms": self.staleness_p99_ms,
+        }
+
+
+def run_experiment(config: ExperimentConfig, hooks=None) -> ExperimentResult:
+    """Run one experiment point in a fresh simulation.
+
+    ``hooks`` is an optional list of ``(time_ms, callable(server, workload))``
+    pairs the dynamics experiment uses to inject load bursts.
+    """
+    sim = Simulation()
+    world = World(seed=config.seed)
+    policy = config.build_policy()
+    server = GameServer(
+        sim,
+        world=world,
+        config=config.build_server_config(),
+        policy=policy,
+        partitioner=None if policy is None else make_partitioner(config.partitioner),
+        direct_mode=policy is None,
+    )
+    if server.dyconits is not None:
+        server.dyconits.merging_enabled = config.merging_enabled
+    server.transport.record_latencies = config.record_latencies
+    server.start()
+
+    workload = Workload(sim, server, config.build_workload_spec())
+    workload.start()
+
+    if hooks:
+        for time_ms, hook in hooks:
+            sim.schedule_at(time_ms, _bind_hook(hook, server, workload))
+
+    sim.run_until(config.duration_ms)
+
+    return collect_result(config, server, workload, policy)
+
+
+def _bind_hook(hook, server, workload):
+    def fire() -> None:
+        hook(server, workload)
+
+    return fire
+
+
+def collect_result(
+    config: ExperimentConfig, server: GameServer, workload: Workload, policy
+) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` from a finished run."""
+    result = ExperimentResult(config=config)
+    transport = server.transport
+    result.bytes_total = transport.total_bytes()
+    result.packets_total = transport.total_packets()
+    result.bytes_by_kind = transport.bytes_by_kind()
+    result.packets_by_kind = transport.packets_by_kind()
+
+    window_s = (config.duration_ms - config.warmup_ms) / 1000.0
+    bytes_series = server.metrics.series("bytes_total")
+    steady_bytes = _series_growth(bytes_series, config.warmup_ms, config.duration_ms)
+    result.steady_bytes_per_second = steady_bytes / window_s if window_s > 0 else 0.0
+    players = max(1, config.bots)
+    result.steady_bytes_per_player_per_second = result.steady_bytes_per_second / players
+
+    tick_series = server.metrics.series("tick_duration_ms")
+    steady_ticks = tick_series.window(config.warmup_ms, config.duration_ms)
+    result.tick_duration = describe(steady_ticks)
+    if steady_ticks:
+        # Effective rate: ticks per second of the steady window.
+        result.effective_tick_rate_hz = len(steady_ticks) / window_s
+    result.steady_packets_per_second = _estimate_packet_rate(server, config, window_s)
+
+    if server.dyconits is not None:
+        result.dyconit_stats = server.dyconits.stats.as_dict()
+        delay_hist = server.metrics.histogram("update_queue_delay_ms", min_value=0.1)
+        result.update_queue_delay_p50_ms = delay_hist.quantile(0.50)
+        result.update_queue_delay_p99_ms = delay_hist.quantile(0.99)
+
+    result.positional_error_mean = workload.error_histogram.mean
+    result.positional_error_p95 = workload.error_histogram.quantile(0.95)
+    result.positional_error_p99 = workload.error_histogram.quantile(0.99)
+    result.positional_error_max = max(0.0, workload.error_histogram.max_value)
+    result.staleness_p50_ms = workload.staleness_histogram.quantile(0.50)
+    result.staleness_p99_ms = workload.staleness_histogram.quantile(0.99)
+
+    if config.record_latencies:
+        result.packet_latency = describe(transport.latencies_ms)
+
+    result.bandwidth_timeline = _rate_timeline(bytes_series)
+    player_series = server.metrics.series("player_count")
+    result.player_timeline = list(zip(player_series.times, player_series.values))
+    result.tick_timeline = list(zip(tick_series.times, tick_series.values))
+    if policy is not None and hasattr(policy, "factor_history"):
+        result.factor_timeline = list(policy.factor_history)
+    return result
+
+
+def _series_growth(series, start: float, end: float) -> float:
+    """Growth of a cumulative series across [start, end)."""
+    value_at_start = None
+    value_at_end = None
+    for time, value in zip(series.times, series.values):
+        if time < start:
+            value_at_start = value
+        if time < end:
+            value_at_end = value
+    if value_at_end is None:
+        return 0.0
+    if value_at_start is None:
+        value_at_start = 0.0
+    return value_at_end - value_at_start
+
+
+def _estimate_packet_rate(server: GameServer, config: ExperimentConfig, window_s: float) -> float:
+    # messages_sent counts every packet the engine sent; approximate the
+    # steady rate by scaling total packets by the window share of sends.
+    # (Exact per-window packet counts would need a packet series; bytes
+    # are the primary bandwidth metric, packets are a secondary view.)
+    total_s = config.duration_ms / 1000.0
+    if total_s <= 0 or window_s <= 0:
+        return 0.0
+    return server.transport.total_packets() / total_s
+
+
+def _rate_timeline(series, bucket_ms: float = 1000.0) -> list[tuple[float, float]]:
+    """Convert a cumulative byte series to per-second rates per bucket."""
+    if len(series) < 2:
+        return []
+    timeline: list[tuple[float, float]] = []
+    bucket_start = series.times[0]
+    bucket_value = series.values[0]
+    for time, value in zip(series.times, series.values):
+        while time >= bucket_start + bucket_ms:
+            elapsed_s = bucket_ms / 1000.0
+            timeline.append(((bucket_start + bucket_ms), (value - bucket_value) / elapsed_s))
+            bucket_start += bucket_ms
+            bucket_value = value
+    return timeline

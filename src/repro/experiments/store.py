@@ -1,0 +1,123 @@
+"""Persisting experiment results.
+
+EXPERIMENTS.md is regenerated from saved runs; this module serializes
+:class:`~repro.experiments.runner.ExperimentResult` to JSON and back so a
+long paper-scale run can be archived and re-rendered without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.bounds import Bounds
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.summary import Summary
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-safe dictionary of one experiment result."""
+    config = asdict(result.config)
+    # BehaviorMix / CostCoefficients / Bounds become plain dicts via
+    # asdict; tag the config with its class for forward compatibility.
+    payload = {
+        "config": config,
+        "bytes_total": result.bytes_total,
+        "packets_total": result.packets_total,
+        "steady_bytes_per_second": result.steady_bytes_per_second,
+        "steady_packets_per_second": result.steady_packets_per_second,
+        "steady_bytes_per_player_per_second": result.steady_bytes_per_player_per_second,
+        "bytes_by_kind": result.bytes_by_kind,
+        "packets_by_kind": result.packets_by_kind,
+        "tick_duration": result.tick_duration.as_dict(),
+        "effective_tick_rate_hz": result.effective_tick_rate_hz,
+        "dyconit_stats": result.dyconit_stats,
+        "update_queue_delay_p50_ms": result.update_queue_delay_p50_ms,
+        "update_queue_delay_p99_ms": result.update_queue_delay_p99_ms,
+        "positional_error_mean": result.positional_error_mean,
+        "positional_error_p95": result.positional_error_p95,
+        "positional_error_p99": result.positional_error_p99,
+        "positional_error_max": result.positional_error_max,
+        "staleness_p50_ms": result.staleness_p50_ms,
+        "staleness_p99_ms": result.staleness_p99_ms,
+        "packet_latency": result.packet_latency.as_dict(),
+        "bandwidth_timeline": result.bandwidth_timeline,
+        "player_timeline": result.player_timeline,
+        "factor_timeline": result.factor_timeline,
+    }
+    return payload
+
+
+def _summary_from_dict(data: dict) -> Summary:
+    return Summary(
+        count=int(data["count"]),
+        mean=data["mean"],
+        minimum=data["min"],
+        p50=data["p50"],
+        p95=data["p95"],
+        p99=data["p99"],
+        maximum=data["max"],
+    )
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild a result (config is restored field-by-field)."""
+    config_data = dict(data["config"])
+    fixed_bounds = config_data.pop("fixed_bounds", None)
+    behavior = config_data.pop("behavior")
+    cost = config_data.pop("cost")
+
+    from repro.bots.workload import BehaviorMix
+    from repro.server.costmodel import CostCoefficients
+
+    config = ExperimentConfig(
+        behavior=BehaviorMix(**behavior),
+        cost=CostCoefficients(**cost),
+        fixed_bounds=Bounds(**fixed_bounds) if fixed_bounds else None,
+        **config_data,
+    )
+    result = ExperimentResult(config=config)
+    result.bytes_total = data["bytes_total"]
+    result.packets_total = data["packets_total"]
+    result.steady_bytes_per_second = data["steady_bytes_per_second"]
+    result.steady_packets_per_second = data["steady_packets_per_second"]
+    result.steady_bytes_per_player_per_second = data["steady_bytes_per_player_per_second"]
+    result.bytes_by_kind = data["bytes_by_kind"]
+    result.packets_by_kind = data["packets_by_kind"]
+    result.tick_duration = _summary_from_dict(data["tick_duration"])
+    result.effective_tick_rate_hz = data["effective_tick_rate_hz"]
+    result.dyconit_stats = data["dyconit_stats"]
+    result.update_queue_delay_p50_ms = data["update_queue_delay_p50_ms"]
+    result.update_queue_delay_p99_ms = data["update_queue_delay_p99_ms"]
+    result.positional_error_mean = data["positional_error_mean"]
+    result.positional_error_p95 = data["positional_error_p95"]
+    result.positional_error_p99 = data["positional_error_p99"]
+    result.positional_error_max = data["positional_error_max"]
+    result.staleness_p50_ms = data["staleness_p50_ms"]
+    result.staleness_p99_ms = data["staleness_p99_ms"]
+    result.packet_latency = _summary_from_dict(data["packet_latency"])
+    result.bandwidth_timeline = [tuple(point) for point in data["bandwidth_timeline"]]
+    result.player_timeline = [tuple(point) for point in data["player_timeline"]]
+    result.factor_timeline = [tuple(point) for point in data["factor_timeline"]]
+    return result
+
+
+def save_results(path: str | Path, results: dict[str, ExperimentResult]) -> None:
+    """Write a named collection of results as JSON."""
+    payload = {name: result_to_dict(result) for name, result in results.items()}
+    Path(path).write_text(json.dumps(payload, indent=2, default=_jsonify))
+
+
+def load_results(path: str | Path) -> dict[str, ExperimentResult]:
+    payload = json.loads(Path(path).read_text())
+    return {name: result_from_dict(data) for name, data in payload.items()}
+
+
+def _jsonify(value):
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "as_dict"):
+        return value.as_dict()
+    raise TypeError(f"cannot serialize {type(value).__name__}")

@@ -1,0 +1,16 @@
+"""Metrics and reporting (S8)."""
+
+from repro.metrics.collector import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from repro.metrics.report import render_table
+from repro.metrics.summary import describe, percentile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "percentile",
+    "describe",
+    "render_table",
+]

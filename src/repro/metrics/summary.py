@@ -1,0 +1,66 @@
+"""Statistical summaries over raw samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Exact q-th percentile (q in [0, 100]) with linear interpolation."""
+    if not samples:
+        raise ValueError("cannot take percentile of empty sample set")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    # Additive form is exact when both neighbours are equal (the blended
+    # form can round one ulp away from them).
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-plus summary of a sample set."""
+
+    count: int
+    mean: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def describe(samples: Sequence[float]) -> Summary:
+    """Summarize ``samples``; empty input yields an all-zero summary."""
+    if not samples:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        minimum=min(samples),
+        p50=percentile(samples, 50),
+        p95=percentile(samples, 95),
+        p99=percentile(samples, 99),
+        maximum=max(samples),
+    )

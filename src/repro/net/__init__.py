@@ -1,0 +1,49 @@
+"""Network substrate (S3).
+
+A simulated client/server network: a Minecraft-like packet catalogue with
+a byte-accurate wire-size model, per-client links with bandwidth and
+latency, and a transport that delivers packets through the simulation
+kernel while accounting every byte.
+"""
+
+from repro.net.link import ClientLink, LinkConfig
+from repro.net.protocol import (
+    BlockChangePacket,
+    ChatMessagePacket,
+    ChunkDataPacket,
+    ChunkUnloadPacket,
+    DestroyEntitiesPacket,
+    EntityPositionPacket,
+    EntityTeleportPacket,
+    JoinGamePacket,
+    KeepAlivePacket,
+    MultiBlockChangePacket,
+    Packet,
+    PlayerActionPacket,
+    SpawnEntityPacket,
+)
+from repro.net.serialize import compressed_chunk_bytes, packet_overhead, varint_size
+from repro.net.transport import DeliveredPacket, Transport
+
+__all__ = [
+    "Packet",
+    "BlockChangePacket",
+    "MultiBlockChangePacket",
+    "ChunkDataPacket",
+    "ChunkUnloadPacket",
+    "EntityTeleportPacket",
+    "EntityPositionPacket",
+    "SpawnEntityPacket",
+    "DestroyEntitiesPacket",
+    "ChatMessagePacket",
+    "KeepAlivePacket",
+    "JoinGamePacket",
+    "PlayerActionPacket",
+    "ClientLink",
+    "LinkConfig",
+    "Transport",
+    "DeliveredPacket",
+    "varint_size",
+    "packet_overhead",
+    "compressed_chunk_bytes",
+]

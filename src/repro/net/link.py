@@ -1,0 +1,82 @@
+"""Per-client link model.
+
+Each connected client has a dedicated :class:`ClientLink` with a
+configurable downstream bandwidth and base propagation delay. Packet
+delivery time is::
+
+    send_time + propagation + serialization + queueing
+
+where serialization is ``bytes / bandwidth`` and queueing arises when the
+link is already busy transmitting earlier packets (a simple FIFO
+store-and-forward queue, like a kernel socket buffer draining into a
+capped pipe).
+
+The link also accumulates byte/packet counters that the transport exposes
+to the metrics layer — this is where the paper's bandwidth numbers come
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.protocol import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class LinkConfig:
+    """Link parameters; defaults model a broadband home connection."""
+
+    bandwidth_bps: float = 20_000_000.0  # 20 Mbit/s downstream
+    latency_ms: float = 25.0  # one-way propagation delay
+    jitter_ms: float = 0.0  # uniform extra delay in [0, jitter_ms]
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_bps}")
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("latency and jitter must be non-negative")
+
+
+@dataclass
+class LinkStats:
+    """Cumulative accounting for one direction of a link."""
+
+    packets: int = 0
+    bytes: int = 0
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    packets_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, packet: Packet, size: int) -> None:
+        self.packets += 1
+        self.bytes += size
+        kind = packet.kind
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+        self.packets_by_kind[kind] = self.packets_by_kind.get(kind, 0) + 1
+
+
+class ClientLink:
+    """Simulated downstream pipe from server to one client."""
+
+    def __init__(self, client_id: int, config: LinkConfig, jitter=None) -> None:
+        self.client_id = client_id
+        self.config = config
+        #: Simulated time at which the pipe finishes its current backlog.
+        self._busy_until = 0.0
+        self.stats = LinkStats()
+        #: Optional callable returning jitter in ms (seeded per client).
+        self._jitter = jitter
+
+    def transmit(self, packet: Packet, now: float) -> float:
+        """Account for ``packet`` leaving now; return its delivery time."""
+        size = packet.wire_size()
+        self.stats.record(packet, size)
+        serialization_ms = size * 8.0 / self.config.bandwidth_bps * 1000.0
+        start = max(now, self._busy_until)
+        self._busy_until = start + serialization_ms
+        jitter_ms = self._jitter() if self._jitter is not None else 0.0
+        return self._busy_until + self.config.latency_ms + jitter_ms
+
+    def queueing_delay(self, now: float) -> float:
+        """Backlog currently waiting ahead of a new packet, in ms."""
+        return max(0.0, self._busy_until - now)

@@ -1,0 +1,168 @@
+"""Transport: routes packets from the server to client links.
+
+The transport owns one :class:`ClientLink` per connected client, delivers
+packets through the simulation's event queue, and exposes fleet-wide
+accounting. Receivers register a callback invoked at delivery time with a
+:class:`DeliveredPacket` carrying the end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.link import ClientLink, LinkConfig
+from repro.net.protocol import Packet
+from repro.sim.rng import derive_rng
+from repro.sim.simulator import Simulation
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveredPacket:
+    """A packet as seen by the receiving client."""
+
+    packet: Packet
+    sent_at: float
+    delivered_at: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+PacketHandler = Callable[[DeliveredPacket], None]
+
+
+class Transport:
+    """Server-side packet egress for all connected clients."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        default_link: LinkConfig | None = None,
+        seed: int = 0,
+        synchronous_delivery: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.default_link = default_link if default_link is not None else LinkConfig()
+        self.seed = seed
+        #: When True, handlers run at send time (latency is still computed
+        #: and recorded) instead of via a scheduled event per packet. Large
+        #: capacity sweeps enable this for speed; latency experiments keep
+        #: it off. Delivery order is unchanged either way (FIFO per link).
+        self.synchronous_delivery = synchronous_delivery
+        self._links: dict[int, ClientLink] = {}
+        self._handlers: dict[int, PacketHandler] = {}
+        #: Stats of links whose clients have disconnected, kept so fleet
+        #: totals survive churny workloads (e.g. the E6 player burst).
+        self._closed_stats: list = []
+        #: Per-packet latencies (ms) observed across all clients; the E4
+        #: latency experiment reads this.
+        self.latencies_ms: list[float] = []
+        self.record_latencies = True
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def connect(
+        self,
+        client_id: int,
+        handler: PacketHandler,
+        link: LinkConfig | None = None,
+    ) -> ClientLink:
+        """Register a client; returns its link."""
+        if client_id in self._links:
+            raise ValueError(f"client {client_id} is already connected")
+        config = link if link is not None else self.default_link
+        jitter = None
+        if config.jitter_ms > 0:
+            rng = derive_rng(self.seed, "link-jitter", client_id)
+            jitter_span = config.jitter_ms
+            jitter = lambda: rng.random() * jitter_span  # noqa: E731
+        client_link = ClientLink(client_id, config, jitter=jitter)
+        self._links[client_id] = client_link
+        self._handlers[client_id] = handler
+        return client_link
+
+    def disconnect(self, client_id: int) -> None:
+        link = self._links.pop(client_id, None)
+        if link is not None:
+            self._closed_stats.append(link.stats)
+        self._handlers.pop(client_id, None)
+
+    def is_connected(self, client_id: int) -> bool:
+        return client_id in self._links
+
+    @property
+    def client_count(self) -> int:
+        return len(self._links)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, client_id: int, packet: Packet) -> None:
+        """Queue ``packet`` for delivery to ``client_id``."""
+        link = self._links.get(client_id)
+        if link is None:
+            return  # client raced a disconnect; drop silently like a closed socket
+        now = self.sim.now
+        delivery_time = link.transmit(packet, now)
+        handler = self._handlers[client_id]
+
+        if self.synchronous_delivery:
+            delivered = DeliveredPacket(
+                packet=packet, sent_at=now, delivered_at=delivery_time
+            )
+            if self.record_latencies:
+                self.latencies_ms.append(delivered.latency_ms)
+            handler(delivered)
+            return
+
+        def deliver() -> None:
+            if not self.is_connected(client_id):
+                return
+            delivered = DeliveredPacket(
+                packet=packet, sent_at=now, delivered_at=self.sim.now
+            )
+            if self.record_latencies:
+                self.latencies_ms.append(delivered.latency_ms)
+            handler(delivered)
+
+        self.sim.schedule_at(delivery_time, deliver)
+
+    def send_many(self, client_id: int, packets: list[Packet]) -> None:
+        for packet in packets:
+            self.send(client_id, packet)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _all_stats(self):
+        yield from (link.stats for link in self._links.values())
+        yield from self._closed_stats
+
+    def total_bytes(self) -> int:
+        return sum(stats.bytes for stats in self._all_stats())
+
+    def total_packets(self) -> int:
+        return sum(stats.packets for stats in self._all_stats())
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for stats in self._all_stats():
+            for kind, count in stats.bytes_by_kind.items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    def packets_by_kind(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for stats in self._all_stats():
+            for kind, count in stats.packets_by_kind.items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    def link(self, client_id: int) -> ClientLink | None:
+        return self._links.get(client_id)

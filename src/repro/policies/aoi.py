@@ -1,0 +1,58 @@
+"""Area-of-interest cutoff: what existing games do.
+
+Inside a small radius around the player everything replicates at full
+fidelity (zero bounds); outside it nothing is delivered at all (infinite
+bounds). This is the abstract of the classic interest-management
+technique the paper contrasts against: it saves bandwidth, but the
+inconsistency beyond the cutoff is *unbounded* — exactly the failure mode
+the E3 inconsistency experiment makes visible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.bounds import Bounds
+from repro.core.partition import GLOBAL_DYCONIT, centroid_of
+from repro.core.policy import Policy
+from repro.core.subscription import Subscriber
+from repro.world.geometry import CHUNK_SIZE
+
+
+class InterestCutoffPolicy(Policy):
+    """Zero bounds within ``aoi_radius_chunks``, infinite outside."""
+
+    def __init__(self, aoi_radius_chunks: float = 2.0) -> None:
+        if aoi_radius_chunks < 0:
+            raise ValueError(f"AOI radius must be >= 0, got {aoi_radius_chunks}")
+        self.aoi_radius_chunks = aoi_radius_chunks
+
+    def bounds_for(
+        self, system, dyconit_id: Hashable, subscriber: Subscriber
+    ) -> Bounds:
+        if dyconit_id == GLOBAL_DYCONIT:
+            return Bounds.ZERO  # chat is always delivered
+        centroid = centroid_of(dyconit_id, system.partitioner)
+        position = subscriber.position
+        if centroid is None or position is None:
+            return Bounds.ZERO
+        distance_chunks = position.horizontal_distance_to(centroid) / CHUNK_SIZE
+        if distance_chunks <= self.aoi_radius_chunks + 0.5:
+            return Bounds.ZERO
+        return Bounds.INFINITE
+
+    def initial_bounds(
+        self, system, dyconit_id: Hashable, subscriber: Subscriber
+    ) -> Bounds:
+        return self.bounds_for(system, dyconit_id, subscriber)
+
+    def on_subscriber_moved(self, system, subscriber: Subscriber) -> None:
+        for dyconit_id in system.subscriptions_of(subscriber.subscriber_id):
+            system.set_bounds(
+                dyconit_id,
+                subscriber.subscriber_id,
+                self.bounds_for(system, dyconit_id, subscriber),
+            )
+
+    def __repr__(self) -> str:
+        return f"InterestCutoffPolicy(radius={self.aoi_radius_chunks} chunks)"

@@ -1,0 +1,124 @@
+"""Distance-based bounds.
+
+Bounds grow with the chunk-grid distance between the subscriber's avatar
+and the dyconit's area:
+
+    numerical(d)  = numerical_per_chunk * d ** numerical_exponent
+    staleness(d)  = staleness_per_chunk_ms * d
+
+so the player's own surroundings replicate at full fidelity (d = 0 gives
+zero bounds) while the periphery of the view tolerates progressively more
+drift — where human players cannot perceive it. This is the spatial
+inconsistency gradient that interest-management research (Donnybrook
+et al.) exploits, recast as conit bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.bounds import Bounds
+from repro.core.partition import GLOBAL_DYCONIT, centroid_of
+from repro.core.policy import Policy
+from repro.core.subscription import Subscriber
+from repro.world.geometry import CHUNK_SIZE
+
+#: Bounds for the global (chat) dyconit: chat batches briefly but a chat
+#: event's weight (10) exceeds the numerical bound, so messages flush on
+#: arrival of the next event or within a quarter second.
+GLOBAL_BOUNDS = Bounds(numerical=5.0, staleness_ms=250.0)
+
+
+class DistanceBasedPolicy(Policy):
+    """Bounds proportional to avatar-to-dyconit distance."""
+
+    def __init__(
+        self,
+        numerical_per_chunk: float = 2.0,
+        numerical_exponent: float = 2.0,
+        staleness_per_chunk_ms: float = 100.0,
+        numerical_weight_rate: float = 250.0,
+        min_chunk_distance: float = 0.25,
+        global_bounds: Bounds = GLOBAL_BOUNDS,
+    ) -> None:
+        if numerical_per_chunk < 0 or staleness_per_chunk_ms < 0:
+            raise ValueError("distance-policy coefficients must be >= 0")
+        if numerical_weight_rate < 0:
+            raise ValueError("numerical_weight_rate must be >= 0")
+        if min_chunk_distance < 0:
+            raise ValueError("min_chunk_distance must be >= 0")
+        self.numerical_per_chunk = numerical_per_chunk
+        self.numerical_exponent = numerical_exponent
+        self.staleness_per_chunk_ms = staleness_per_chunk_ms
+        #: Division of labour between the two conit dimensions: staleness
+        #: paces *routine* update flow, so the numerical bound must sit
+        #: above the weight a normally-busy dyconit accumulates within one
+        #: staleness period — otherwise it trips every tick in dense areas
+        #: and defeats merging. It is therefore sized as a rate budget
+        #: (weight/second × staleness) and exists to catch *bursts*: a
+        #: mass block edit or explosion exceeds it instantly and flushes
+        #: ahead of the staleness deadline.
+        self.numerical_weight_rate = numerical_weight_rate
+        #: Distance floor: even the subscriber's own chunk gets this small
+        #: (non-zero) distance, so a load-adaptive scale factor can loosen
+        #: *all* bounds under overload — in a packed village everyone is in
+        #: everyone's chunk, and with a hard zero there would be nothing
+        #: left to shed. At factor 1 the resulting nearby bounds are
+        #: imperceptible (numerical 2*0.25^2 = 0.125 blocks).
+        self.min_chunk_distance = min_chunk_distance
+        self.global_bounds = global_bounds
+
+    # ------------------------------------------------------------------
+    # Bound surface
+    # ------------------------------------------------------------------
+
+    def bounds_at_distance(self, chunk_distance: float) -> Bounds:
+        """The bound surface; ``chunk_distance`` in chunk units."""
+        if chunk_distance <= 0:
+            return Bounds.ZERO
+        staleness_ms = self.staleness_per_chunk_ms * chunk_distance
+        numerical = max(
+            self.numerical_per_chunk * chunk_distance**self.numerical_exponent,
+            self.numerical_weight_rate * staleness_ms / 1000.0,
+        )
+        return Bounds(numerical=numerical, staleness_ms=staleness_ms)
+
+    def bounds_for(
+        self, system, dyconit_id: Hashable, subscriber: Subscriber
+    ) -> Bounds:
+        if dyconit_id == GLOBAL_DYCONIT:
+            return self.global_bounds
+        centroid = centroid_of(dyconit_id, system.partitioner)
+        position = subscriber.position
+        if centroid is None or position is None:
+            return self.global_bounds
+        distance_blocks = position.horizontal_distance_to(centroid)
+        chunk_distance = max(
+            self.min_chunk_distance, distance_blocks / CHUNK_SIZE - 0.5
+        )
+        return self.bounds_at_distance(chunk_distance)
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+
+    def initial_bounds(
+        self, system, dyconit_id: Hashable, subscriber: Subscriber
+    ) -> Bounds:
+        return self.bounds_for(system, dyconit_id, subscriber)
+
+    def on_subscriber_moved(self, system, subscriber: Subscriber) -> None:
+        # Crossing a chunk border shifts every distance; re-derive the
+        # subscriber's whole bound set.
+        for dyconit_id in system.subscriptions_of(subscriber.subscriber_id):
+            system.set_bounds(
+                dyconit_id,
+                subscriber.subscriber_id,
+                self.bounds_for(system, dyconit_id, subscriber),
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceBasedPolicy(numerical={self.numerical_per_chunk}"
+            f"*d^{self.numerical_exponent}, staleness={self.staleness_per_chunk_ms}*d ms)"
+        )

@@ -1,0 +1,25 @@
+"""Infinite-bounds policy: the bandwidth-savings upper bound."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.bounds import Bounds
+from repro.core.policy import Policy
+from repro.core.subscription import Subscriber
+
+
+class InfiniteBoundsPolicy(Policy):
+    """Every subscription gets infinite bounds: updates queue forever.
+
+    Nothing is ever delivered through the middleware (players still get
+    initial state sync from interest management). Useless as a real
+    policy — inconsistency grows without bound — but it measures the
+    maximum traffic the middleware *could* remove, the yardstick the
+    relative-savings numbers are read against.
+    """
+
+    def initial_bounds(
+        self, system, dyconit_id: Hashable, subscriber: Subscriber
+    ) -> Bounds:
+        return Bounds.INFINITE

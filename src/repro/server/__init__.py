@@ -1,0 +1,34 @@
+"""Minecraft-like game server (S4).
+
+A 20 Hz tick-loop server over the MVE world, with vanilla view-distance
+interest management and two broadcast paths:
+
+* **direct** — vanilla behaviour: every world event is immediately
+  serialized and sent to every viewer (used as the differential baseline
+  and for middleware-overhead measurements); or
+* **dyconit-mediated** — events are committed to the
+  :class:`~repro.core.manager.DyconitSystem` and reach players when their
+  bounds say so.
+
+Tick duration is *simulated* through a calibrated cost model
+(:mod:`repro.server.costmodel`); see DESIGN.md for why this substitution
+preserves the paper's capacity result.
+"""
+
+from repro.server.codec import SessionCodec
+from repro.server.config import ServerConfig
+from repro.server.costmodel import CostCoefficients, TickCostModel, TickWorkload
+from repro.server.engine import GameServer
+from repro.server.interest import InterestManager
+from repro.server.session import PlayerSession
+
+__all__ = [
+    "ServerConfig",
+    "GameServer",
+    "PlayerSession",
+    "InterestManager",
+    "SessionCodec",
+    "TickCostModel",
+    "TickWorkload",
+    "CostCoefficients",
+]

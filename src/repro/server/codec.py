@@ -1,0 +1,186 @@
+"""Update-batch to packet conversion.
+
+The codec turns a batch of world events (either a single vanilla
+broadcast or a merged dyconit flush) into the packets a Minecraft-like
+client expects, maintaining the per-session replica bookkeeping that
+makes relative-move packets valid:
+
+* block changes within one chunk batch into a multi-block-change packet;
+* entity moves become relative moves when the client knows the entity and
+  the delta fits, teleports otherwise;
+* moves of entities the client has never seen synthesize a spawn first
+  (this happens when bound-merging collapsed the original spawn away);
+* despawns batch into one destroy-entities packet.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.net.protocol import (
+    BlockChangePacket,
+    ChatMessagePacket,
+    DestroyEntitiesPacket,
+    EntityPositionPacket,
+    EntityTeleportPacket,
+    MultiBlockChangePacket,
+    Packet,
+    SpawnEntityPacket,
+)
+from repro.world.entity import EntityKind
+from repro.world.events import (
+    BlockChangeEvent,
+    ChatEvent,
+    EntityDespawnEvent,
+    EntityMoveEvent,
+    EntitySpawnEvent,
+    WorldEvent,
+)
+from repro.server.session import PlayerSession
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.world.world import World
+
+
+class SessionCodec:
+    """Stateless converter; all per-client state lives in the session."""
+
+    def __init__(self, world: "World") -> None:
+        self.world = world
+
+    def encode(
+        self, session: PlayerSession, updates: Sequence[WorldEvent]
+    ) -> list[Packet]:
+        """Convert ``updates`` (in commit-time order) into packets."""
+        packets: list[Packet] = []
+        block_changes: dict = {}  # chunk -> {pos: block}
+        despawned: list[int] = []
+
+        for update in updates:
+            if isinstance(update, BlockChangeEvent):
+                chunk = update.pos.to_chunk_pos()
+                if not session.sees_chunk(chunk):
+                    # The client has not loaded that chunk; it would
+                    # discard the change anyway (and re-receives the block
+                    # inside the chunk payload if it ever walks there).
+                    continue
+                chunk_changes = block_changes.setdefault(chunk, {})
+                chunk_changes[update.pos] = update.new_block
+            elif isinstance(update, EntityMoveEvent):
+                packet = self._encode_move(session, update)
+                if packet is not None:
+                    packets.append(packet)
+            elif isinstance(update, EntitySpawnEvent):
+                if update.entity_id == session.entity_id:
+                    continue  # the client spawns its own avatar locally
+                if not session.sees_chunk(update.position.to_chunk_pos()):
+                    continue  # stale queued spawn for an area now out of view
+                last_time = session.entity_update_times.get(update.entity_id)
+                if last_time is not None and update.time < last_time:
+                    continue  # superseded by a newer update already applied
+                if update.entity_id not in session.known_entities:
+                    session.entity_update_times[update.entity_id] = update.time
+                    session.known_entities[update.entity_id] = update.position
+                    packets.append(
+                        SpawnEntityPacket(
+                            entity_id=update.entity_id,
+                            entity_kind=update.kind,
+                            position=update.position,
+                            name=update.name,
+                        )
+                    )
+            elif isinstance(update, EntityDespawnEvent):
+                if session.forget_entity(update.entity_id):
+                    despawned.append(update.entity_id)
+            elif isinstance(update, ChatEvent):
+                packets.append(
+                    ChatMessagePacket(sender_id=update.sender_id, text=update.text)
+                )
+
+        for chunk, changes in block_changes.items():
+            if len(changes) == 1:
+                pos, block = next(iter(changes.items()))
+                packets.append(BlockChangePacket(pos=pos, block=block))
+            else:
+                packets.append(
+                    MultiBlockChangePacket(
+                        chunk=chunk, changes=tuple(sorted(changes.items(), key=str))
+                    )
+                )
+
+        if despawned:
+            packets.append(DestroyEntitiesPacket(entity_ids=tuple(despawned)))
+        return packets
+
+    def _encode_move(
+        self, session: PlayerSession, update: EntityMoveEvent
+    ) -> Packet | None:
+        if update.entity_id == session.entity_id:
+            return None  # never echo a player's own movement back
+        last_time = session.entity_update_times.get(update.entity_id)
+        if last_time is not None and update.time < last_time:
+            # A flush from another dyconit already applied a newer state
+            # for this entity; applying this one would regress the replica.
+            return None
+        session.entity_update_times[update.entity_id] = update.time
+        if not session.sees_chunk(update.new_position.to_chunk_pos()):
+            # The entity ended up outside this client's view (e.g. a
+            # merged move that crossed several chunks while queued).
+            # Keep the invariant known ⊆ view: destroy the replica.
+            if session.forget_entity(update.entity_id):
+                return DestroyEntitiesPacket(entity_ids=(update.entity_id,))
+            return None
+        last_sent = session.known_entities.get(update.entity_id)
+        if last_sent is None:
+            # The spawn was merged away (or the entity walked into view):
+            # synthesize it so the client has a replica to move.
+            entity = self.world.get_entity(update.entity_id)
+            if entity is None:
+                session.entity_update_times.pop(update.entity_id, None)
+                return None  # already despawned; the despawn will follow
+            session.known_entities[update.entity_id] = update.new_position
+            return SpawnEntityPacket(
+                entity_id=update.entity_id,
+                entity_kind=entity.kind,
+                position=update.new_position,
+                name=entity.name,
+            )
+        delta = update.new_position - last_sent
+        session.known_entities[update.entity_id] = update.new_position
+        if EntityPositionPacket.fits(delta):
+            return EntityPositionPacket(
+                entity_id=update.entity_id,
+                delta=delta,
+                yaw=update.yaw,
+                pitch=update.pitch,
+            )
+        return EntityTeleportPacket(
+            entity_id=update.entity_id,
+            position=update.new_position,
+            yaw=update.yaw,
+            pitch=update.pitch,
+        )
+
+    def encode_entity_snapshot(
+        self, session: PlayerSession, entity_id: int
+    ) -> Packet | None:
+        """Spawn packet for one live entity (initial view sync)."""
+        entity = self.world.get_entity(entity_id)
+        if entity is None or entity_id == session.entity_id:
+            return None
+        if entity_id in session.known_entities:
+            return None
+        session.known_entities[entity_id] = entity.position
+        # The snapshot reflects the authoritative present: any update still
+        # queued in a dyconit is older than this and must not regress it.
+        session.entity_update_times[entity_id] = self.world.time
+        return SpawnEntityPacket(
+            entity_id=entity.entity_id,
+            entity_kind=entity.kind,
+            position=entity.position,
+            name=entity.name,
+        )
+
+
+def entity_kind_or_unknown(kind: EntityKind | None) -> EntityKind:
+    return kind if kind is not None else EntityKind.ITEM

@@ -1,0 +1,40 @@
+"""Server configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.link import LinkConfig
+from repro.server.costmodel import CostCoefficients
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Tunable parameters of the game server.
+
+    Defaults model a vanilla Minecraft-like service: 20 ticks/s, a
+    5-chunk view distance (11x11 visible chunks), and broadband client
+    links.
+    """
+
+    tick_interval_ms: float = 50.0
+    view_distance: int = 5
+    keepalive_interval_ms: float = 5000.0
+    link: LinkConfig = field(default_factory=LinkConfig)
+    cost: CostCoefficients = field(default_factory=CostCoefficients)
+    #: Ambient mobs wandering near the spawn area (0 disables).
+    mob_count: int = 0
+    #: Mobs take a random step every this many ticks.
+    mob_step_ticks: int = 4
+    #: Deliver packets synchronously (latency still modelled & recorded);
+    #: big capacity sweeps enable this to cut simulation overhead.
+    synchronous_delivery: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick_interval_ms <= 0:
+            raise ValueError(f"tick interval must be positive, got {self.tick_interval_ms}")
+        if self.view_distance < 1:
+            raise ValueError(f"view distance must be >= 1, got {self.view_distance}")
+        if self.mob_count < 0:
+            raise ValueError(f"mob count must be >= 0, got {self.mob_count}")

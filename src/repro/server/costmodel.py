@@ -1,0 +1,79 @@
+"""Simulated tick-duration cost model.
+
+The paper measures wall-clock tick duration of a Java server on a
+testbed; a Python interpreter cannot reproduce those absolute numbers, so
+(per the substitution note in DESIGN.md) tick duration is *computed* from
+the work the server performed during the tick:
+
+    duration = base
+             + per_player  * connected_players
+             + per_action  * inbound actions processed
+             + per_commit  * middleware commits
+             + per_enqueue * per-subscriber enqueues + bound checks
+             + per_flush   * queue flushes
+             + per_message * packets serialized and sent
+             + per_kilobyte* kilobytes sent
+
+The coefficients are stated here, in one place, and the E2 capacity
+benchmark sweeps them in a sensitivity check. Their defaults are chosen
+so a vanilla configuration saturates its 50 ms budget in the low hundreds
+of players — the regime the paper operates in — with per-message send
+cost (serialization + syscall) as the dominant term, which is what
+profiling of Minecraft-like servers shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostCoefficients:
+    """Milliseconds of simulated server CPU per unit of tick work."""
+
+    base_ms: float = 1.0
+    per_player_ms: float = 0.03
+    per_action_ms: float = 0.004
+    per_commit_ms: float = 0.001
+    per_enqueue_ms: float = 0.0008
+    per_flush_ms: float = 0.002
+    per_message_ms: float = 0.0045
+    per_kilobyte_ms: float = 0.012
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"cost coefficient {name} must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class TickWorkload:
+    """What one tick actually did; produced by the engine per tick."""
+
+    players: int = 0
+    actions: int = 0
+    commits: int = 0
+    enqueues: int = 0
+    flushes: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+class TickCostModel:
+    """Maps a :class:`TickWorkload` to a simulated tick duration."""
+
+    def __init__(self, coefficients: CostCoefficients | None = None) -> None:
+        self.coefficients = coefficients if coefficients is not None else CostCoefficients()
+
+    def tick_duration_ms(self, work: TickWorkload) -> float:
+        c = self.coefficients
+        return (
+            c.base_ms
+            + c.per_player_ms * work.players
+            + c.per_action_ms * work.actions
+            + c.per_commit_ms * work.commits
+            + c.per_enqueue_ms * work.enqueues
+            + c.per_flush_ms * work.flushes
+            + c.per_message_ms * work.messages
+            + c.per_kilobyte_ms * (work.bytes_sent / 1024.0)
+        )

@@ -1,0 +1,404 @@
+"""The game server engine.
+
+Runs the 20 Hz tick loop over the authoritative world, processes inbound
+player actions, and broadcasts world events through one of two paths:
+
+* ``direct_mode=True`` — vanilla: each event is encoded and sent to every
+  viewing session immediately;
+* ``direct_mode=False`` — events are committed to the dyconit middleware,
+  which queues, merges, and flushes per the installed policy.
+
+Every tick's work is folded into a :class:`TickWorkload` and priced by
+the :class:`TickCostModel`; when the priced duration exceeds the tick
+interval the next tick is delayed accordingly, so an overloaded server
+visibly drops below 20 Hz — exactly the saturation behaviour the paper's
+capacity experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.manager import DyconitSystem
+from repro.core.partition import ChunkPartitioner, DyconitPartitioner
+from repro.core.policy import LoadSignals, Policy
+from repro.core.subscription import Subscriber
+from repro.metrics.collector import MetricsRegistry
+from repro.net.link import LinkConfig
+from repro.net.protocol import (
+    JoinGamePacket,
+    KeepAlivePacket,
+    Packet,
+    PlayerActionPacket,
+)
+from repro.net.transport import DeliveredPacket, Transport
+from repro.sim.rng import derive_rng
+from repro.sim.simulator import Simulation
+from repro.world.block import BlockType
+from repro.world.entity import EntityKind
+from repro.world.events import EntityMoveEvent, WorldEvent
+from repro.world.geometry import Vec3
+from repro.world.world import World
+from repro.server.codec import SessionCodec
+from repro.server.config import ServerConfig
+from repro.server.costmodel import TickCostModel, TickWorkload
+from repro.server.interest import InterestManager
+from repro.server.session import PlayerSession
+
+#: EWMA smoothing factor for tick duration (signal the adaptive policy uses).
+TICK_EWMA_ALPHA = 0.2
+
+
+class GameServer:
+    """A Minecraft-like server instance inside the simulation."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        world: World | None = None,
+        config: ServerConfig | None = None,
+        policy: Policy | None = None,
+        partitioner: DyconitPartitioner | None = None,
+        direct_mode: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.config = config if config is not None else ServerConfig()
+        self.world = world if world is not None else World(seed=self.config.seed)
+        self.direct_mode = direct_mode
+        self.transport = Transport(
+            sim,
+            self.config.link,
+            seed=self.config.seed,
+            synchronous_delivery=self.config.synchronous_delivery,
+        )
+        self.codec = SessionCodec(self.world)
+        self.interest = InterestManager(self)
+        self.cost_model = TickCostModel(self.config.cost)
+        self.metrics = MetricsRegistry()
+
+        self.dyconits: DyconitSystem | None = None
+        if not direct_mode:
+            if policy is None:
+                raise ValueError("a Policy is required unless direct_mode=True")
+            self.dyconits = DyconitSystem(
+                policy,
+                partitioner if partitioner is not None else ChunkPartitioner(),
+                time_source=lambda: sim.now,
+            )
+
+        self.sessions: dict[int, PlayerSession] = {}
+        self._client_by_entity: dict[int, int] = {}
+        self._next_client_id = 1
+        self._inbound: list[tuple[int, PlayerActionPacket]] = []
+        self._mob_ids: list[int] = []
+        self._mob_rng = derive_rng(self.config.seed, "server", "mobs")
+
+        self.messages_sent = 0
+        self.tick_count = 0
+        self.smoothed_tick_ms = 0.0
+        self._smoothed_bytes_per_s = 0.0
+        self._last_keepalive = 0.0
+        self._running = False
+
+        self.world.time_source = lambda: sim.now
+        self.world.add_listener(self._on_world_event)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn ambient mobs and schedule the first tick."""
+        if self._running:
+            raise RuntimeError("server already started")
+        self._running = True
+        self._spawn_mobs()
+        self.sim.schedule(self.config.tick_interval_ms, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def connect(
+        self,
+        name: str,
+        handler,
+        position: Vec3 | None = None,
+        link: LinkConfig | None = None,
+        view_distance: int | None = None,
+    ) -> PlayerSession:
+        """Connect a new player; returns its session.
+
+        ``handler`` receives every delivered packet (the bot client's
+        inbound side).
+        """
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        self.transport.connect(client_id, handler, link)
+
+        if position is None:
+            position = self.world.surface_position(8.0, 8.0)
+        # Spawning the avatar emits an EntitySpawnEvent that reaches every
+        # *existing* viewer through the normal broadcast path.
+        entity = self.world.spawn_entity(EntityKind.PLAYER, position, name=name)
+
+        session = PlayerSession(
+            client_id=client_id,
+            entity_id=entity.entity_id,
+            name=name,
+            view_distance=(
+                view_distance if view_distance is not None else self.config.view_distance
+            ),
+            connected_at=self.sim.now,
+        )
+        self.sessions[client_id] = session
+        self._client_by_entity[entity.entity_id] = client_id
+
+        if self.dyconits is not None:
+            subscriber = Subscriber(
+                subscriber_id=client_id,
+                deliver=self._make_delivery_handler(session),
+                position_provider=self._make_position_provider(entity.entity_id),
+            )
+            self.dyconits.register_subscriber(subscriber)
+
+        self.send_packets(session, [JoinGamePacket(entity_id=entity.entity_id)])
+        self.interest.sync_on_join(session)
+        return session
+
+    def disconnect(self, client_id: int) -> None:
+        session = self.sessions.pop(client_id, None)
+        if session is None:
+            return
+        if self.dyconits is not None:
+            self.dyconits.remove_subscriber(client_id, flush_pending=False)
+        self.interest.on_leave(session)
+        self._client_by_entity.pop(session.entity_id, None)
+        if self.world.get_entity(session.entity_id) is not None:
+            self.world.despawn_entity(session.entity_id)
+        self.transport.disconnect(client_id)
+
+    @property
+    def player_count(self) -> int:
+        return len(self.sessions)
+
+    # ------------------------------------------------------------------
+    # Inbound actions
+    # ------------------------------------------------------------------
+
+    def submit_action(self, client_id: int, action: PlayerActionPacket) -> None:
+        """Queue a client action for processing at the next tick."""
+        if client_id not in self.sessions:
+            return  # raced a disconnect
+        self._inbound.append((client_id, action))
+
+    def _apply_action(self, client_id: int, action: PlayerActionPacket) -> None:
+        session = self.sessions.get(client_id)
+        if session is None:
+            return
+        session.actions_received += 1
+        if action.action == "move" and action.position is not None:
+            self.world.move_entity(session.entity_id, action.position)
+        elif action.action == "place" and action.block_pos is not None:
+            block = action.block if action.block is not None else BlockType.COBBLESTONE
+            self.world.set_block(action.block_pos, block, actor_id=session.entity_id)
+        elif action.action == "dig" and action.block_pos is not None:
+            self.world.set_block(
+                action.block_pos, BlockType.AIR, actor_id=session.entity_id
+            )
+        elif action.action == "chat":
+            self.world.chat(session.entity_id, str(action.extra.get("text", "")))
+
+    # ------------------------------------------------------------------
+    # Broadcast paths
+    # ------------------------------------------------------------------
+
+    def _on_world_event(self, event: WorldEvent) -> None:
+        # Stamp world time so event timestamps match simulation time.
+        exclude = self._originating_client(event)
+        if isinstance(event, EntityMoveEvent):
+            old_chunk = event.old_position.to_chunk_pos()
+            new_chunk = event.new_position.to_chunk_pos()
+            if old_chunk != new_chunk:
+                self.interest.on_entity_crossed(event.entity_id, old_chunk, new_chunk)
+
+        if self.direct_mode or self.dyconits is None:
+            self._broadcast_direct(event, exclude)
+        else:
+            self.dyconits.commit(event, exclude_subscriber=exclude)
+
+        if isinstance(event, EntityMoveEvent):
+            client_id = self._client_by_entity.get(event.entity_id)
+            if client_id is not None:
+                session = self.sessions.get(client_id)
+                if session is not None and self.interest.refresh(session):
+                    if self.dyconits is not None:
+                        self.dyconits.notify_subscriber_moved(client_id)
+
+    def _broadcast_direct(self, event: WorldEvent, exclude: int | None) -> None:
+        chunk = event.chunk_pos
+        for session in self.sessions.values():
+            if session.client_id == exclude:
+                continue
+            if chunk is not None and not session.sees_chunk(chunk):
+                continue
+            packets = self.codec.encode(session, [event])
+            if packets:
+                self.send_packets(session, packets)
+
+    def _originating_client(self, event: WorldEvent) -> int | None:
+        actor_id = getattr(event, "actor_id", None)
+        if actor_id is None:
+            actor_id = getattr(event, "sender_id", None)
+        if actor_id is None and isinstance(event, EntityMoveEvent):
+            actor_id = event.entity_id
+        if actor_id is None:
+            return None
+        return self._client_by_entity.get(actor_id)
+
+    def _make_delivery_handler(self, session: PlayerSession):
+        delay_histogram = self.metrics.histogram("update_queue_delay_ms", min_value=0.1)
+
+        def deliver(dyconit_id: Hashable, updates: Sequence[WorldEvent]) -> None:
+            now = self.sim.now
+            for update in updates:
+                delay_histogram.record(max(0.0, now - update.time))
+            packets = self.codec.encode(session, updates)
+            if packets:
+                self.send_packets(session, packets)
+
+        return deliver
+
+    def _make_position_provider(self, entity_id: int):
+        def position() -> Vec3:
+            entity = self.world.get_entity(entity_id)
+            return entity.position if entity is not None else Vec3.zero()
+
+        return position
+
+    def send_packets(self, session: PlayerSession, packets: Sequence[Packet]) -> None:
+        for packet in packets:
+            self.transport.send(session.client_id, packet)
+        session.packets_sent += len(packets)
+        self.messages_sent += len(packets)
+
+    # ------------------------------------------------------------------
+    # Tick loop
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.tick_count += 1
+
+        bytes_before = self.transport.total_bytes()
+        messages_before = self.messages_sent
+        if self.dyconits is not None:
+            commits_before = self.dyconits.stats.commits
+            enqueues_before = self.dyconits.stats.updates_enqueued
+            flushes_before = self.dyconits.stats.flushes
+        else:
+            commits_before = enqueues_before = flushes_before = 0
+
+        # 1. Inbound actions.
+        inbound, self._inbound = self._inbound, []
+        for client_id, action in inbound:
+            self._apply_action(client_id, action)
+
+        # 2. Ambient mobs.
+        if self._mob_ids and self.tick_count % self.config.mob_step_ticks == 0:
+            self._step_mobs()
+
+        # 3. Middleware staleness flushes.
+        if self.dyconits is not None:
+            self.dyconits.tick()
+
+        # 4. Keepalives.
+        if self.sim.now - self._last_keepalive >= self.config.keepalive_interval_ms:
+            self._last_keepalive = self.sim.now
+            for session in self.sessions.values():
+                self.send_packets(session, [KeepAlivePacket(nonce=self.tick_count)])
+
+        # 5. Price the tick.
+        if self.dyconits is not None:
+            commits = self.dyconits.stats.commits - commits_before
+            enqueues = self.dyconits.stats.updates_enqueued - enqueues_before
+            flushes = self.dyconits.stats.flushes - flushes_before
+        else:
+            commits = enqueues = flushes = 0
+        work = TickWorkload(
+            players=len(self.sessions),
+            actions=len(inbound),
+            commits=commits,
+            enqueues=enqueues,
+            flushes=flushes,
+            messages=self.messages_sent - messages_before,
+            bytes_sent=self.transport.total_bytes() - bytes_before,
+        )
+        duration = self.cost_model.tick_duration_ms(work)
+        self.smoothed_tick_ms = (
+            TICK_EWMA_ALPHA * duration + (1 - TICK_EWMA_ALPHA) * self.smoothed_tick_ms
+        )
+        tick_bytes_per_s = work.bytes_sent / (self.config.tick_interval_ms / 1000.0)
+        self._smoothed_bytes_per_s = (
+            TICK_EWMA_ALPHA * tick_bytes_per_s
+            + (1 - TICK_EWMA_ALPHA) * self._smoothed_bytes_per_s
+        )
+        self.metrics.series("tick_duration_ms").record(self.sim.now, duration)
+        self.metrics.series("player_count").record(self.sim.now, len(self.sessions))
+        self.metrics.series("bytes_total").record(
+            self.sim.now, self.transport.total_bytes()
+        )
+        self.metrics.histogram("tick_duration_ms").record(duration)
+
+        # 6. Policy evaluation (rate-limited inside the system).
+        if self.dyconits is not None:
+            self.dyconits.evaluate_policy(self.load_signals(duration))
+
+        # 7. Schedule the next tick. An overloaded tick pushes the next
+        #    one out, dropping the effective tick rate below 20 Hz.
+        delay = max(self.config.tick_interval_ms, duration)
+        self.sim.schedule(delay, self._tick)
+
+    def load_signals(self, last_tick_duration_ms: float | None = None) -> LoadSignals:
+        return LoadSignals(
+            now=self.sim.now,
+            player_count=len(self.sessions),
+            last_tick_duration_ms=(
+                last_tick_duration_ms
+                if last_tick_duration_ms is not None
+                else self.smoothed_tick_ms
+            ),
+            smoothed_tick_duration_ms=self.smoothed_tick_ms,
+            tick_budget_ms=self.config.tick_interval_ms,
+            outgoing_bytes_per_second=self._smoothed_bytes_per_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Ambient mobs
+    # ------------------------------------------------------------------
+
+    def _spawn_mobs(self) -> None:
+        kinds = (EntityKind.COW, EntityKind.SHEEP, EntityKind.ZOMBIE)
+        for index in range(self.config.mob_count):
+            x = self._mob_rng.uniform(-40.0, 40.0)
+            z = self._mob_rng.uniform(-40.0, 40.0)
+            position = self.world.surface_position(x, z)
+            kind = kinds[index % len(kinds)]
+            mob = self.world.spawn_entity(kind, position)
+            self._mob_ids.append(mob.entity_id)
+
+    def _step_mobs(self) -> None:
+        for mob_id in self._mob_ids:
+            entity = self.world.get_entity(mob_id)
+            if entity is None:
+                continue
+            dx = self._mob_rng.uniform(-0.4, 0.4)
+            dz = self._mob_rng.uniform(-0.4, 0.4)
+            target = self.world.surface_position(
+                entity.position.x + dx, entity.position.z + dz
+            )
+            self.world.move_entity(mob_id, target)

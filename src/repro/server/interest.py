@@ -1,0 +1,195 @@
+"""View-distance interest management.
+
+Replicates what a vanilla Minecraft-like server does around each player:
+stream the square of chunks within the view distance, spawn/destroy
+entity replicas as chunks (or entities) enter and leave the view, and —
+in dyconit mode — keep the player's dyconit subscriptions in lockstep
+with the view.
+
+Interest management is deliberately *identical* across the vanilla and
+dyconit paths: the paper's middleware reuses the existing game codebase,
+and keeping this layer shared is what makes the zero-bounds
+differential test (vanilla ≡ zero-bounds, packet-for-packet) meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.partition import GLOBAL_DYCONIT
+from repro.net.protocol import (
+    ChunkDataPacket,
+    ChunkUnloadPacket,
+    DestroyEntitiesPacket,
+    Packet,
+)
+from repro.world.chunk import CHUNK_SIZE, WORLD_HEIGHT
+from repro.world.geometry import ChunkPos, chunks_in_radius
+from repro.server.session import PlayerSession
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.engine import GameServer
+
+
+class InterestManager:
+    """Maintains per-session view areas and dyconit subscriptions."""
+
+    def __init__(self, server: "GameServer") -> None:
+        self.server = server
+
+    # ------------------------------------------------------------------
+    # Join / leave
+    # ------------------------------------------------------------------
+
+    def sync_on_join(self, session: PlayerSession) -> None:
+        """Send the initial view (chunks + entities) and subscribe."""
+        center = self._avatar_chunk(session)
+        session.anchor_chunk = center
+        view = set(chunks_in_radius(center, session.view_distance))
+        packets: list[Packet] = []
+        for chunk_pos in sorted(view, key=lambda c: (c.cx, c.cz)):
+            packets.append(self._chunk_packet(chunk_pos))
+            packets.extend(self._entity_snapshots(session, chunk_pos))
+        session.view_chunks = view
+        self.server.send_packets(session, packets)
+        self._subscribe_view(session, set(), view)
+
+    def on_leave(self, session: PlayerSession) -> None:
+        session.view_chunks = set()
+        session.known_entities.clear()
+
+    # ------------------------------------------------------------------
+    # Player movement
+    # ------------------------------------------------------------------
+
+    def refresh(self, session: PlayerSession) -> bool:
+        """Re-center the view if the avatar crossed a chunk border.
+
+        Returns True if the view changed (the engine then notifies the
+        policy so spatial bounds can be re-derived).
+        """
+        center = self._avatar_chunk(session)
+        if center == session.anchor_chunk:
+            return False
+        session.anchor_chunk = center
+        new_view = set(chunks_in_radius(center, session.view_distance))
+        old_view = session.view_chunks
+        added = new_view - old_view
+        removed = old_view - new_view
+
+        packets: list[Packet] = []
+        for chunk_pos in sorted(added, key=lambda c: (c.cx, c.cz)):
+            packets.append(self._chunk_packet(chunk_pos))
+            packets.extend(self._entity_snapshots(session, chunk_pos))
+        for chunk_pos in sorted(removed, key=lambda c: (c.cx, c.cz)):
+            packets.append(ChunkUnloadPacket(chunk=chunk_pos))
+        # Sweep replicas by *last-sent* position (not current authoritative
+        # chunk): an entity may have moved since the client last heard of
+        # it, and the client's replica lives where the client believes it.
+        destroyed = [
+            entity_id
+            for entity_id, last_sent in session.known_entities.items()
+            if last_sent.to_chunk_pos() not in new_view
+        ]
+        for entity_id in destroyed:
+            session.forget_entity(entity_id)
+        if destroyed:
+            packets.append(DestroyEntitiesPacket(entity_ids=tuple(destroyed)))
+
+        session.view_chunks = new_view
+        self.server.send_packets(session, packets)
+        self._subscribe_view(session, old_view, new_view)
+        return True
+
+    # ------------------------------------------------------------------
+    # Entity movement across chunk borders
+    # ------------------------------------------------------------------
+
+    def on_entity_crossed(
+        self, entity_id: int, old_chunk: ChunkPos, new_chunk: ChunkPos
+    ) -> None:
+        """Handle an entity moving between chunks.
+
+        Sessions that see the new chunk but not the old get a spawn;
+        sessions that see the old but not the new get a destroy. Sessions
+        seeing both keep receiving regular move updates.
+        """
+        for session in self.server.sessions.values():
+            if session.entity_id == entity_id:
+                continue
+            sees = session.sees_chunk(new_chunk)
+            if not sees:
+                # Entity now outside this client's view: drop the replica
+                # wherever the client believes it is.
+                if session.forget_entity(entity_id):
+                    self.server.send_packets(
+                        session, [DestroyEntitiesPacket(entity_ids=(entity_id,))]
+                    )
+            elif entity_id not in session.known_entities:
+                packet = self.server.codec.encode_entity_snapshot(session, entity_id)
+                if packet is not None:
+                    self.server.send_packets(session, [packet])
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _avatar_chunk(self, session: PlayerSession) -> ChunkPos:
+        entity = self.server.world.get_entity(session.entity_id)
+        if entity is None:
+            raise KeyError(f"session {session.client_id} has no avatar entity")
+        return entity.chunk_pos
+
+    def _chunk_packet(self, chunk_pos: ChunkPos) -> ChunkDataPacket:
+        chunk = self.server.world.get_chunk(chunk_pos)
+        return ChunkDataPacket(
+            chunk=chunk_pos,
+            total_blocks=CHUNK_SIZE * CHUNK_SIZE * WORLD_HEIGHT,
+            non_air_blocks=chunk.non_air_count,
+        )
+
+    def _entity_snapshots(
+        self, session: PlayerSession, chunk_pos: ChunkPos
+    ) -> list[Packet]:
+        packets: list[Packet] = []
+        for entity in self.server.world.entities_in_chunk(chunk_pos):
+            packet = self.server.codec.encode_entity_snapshot(session, entity.entity_id)
+            if packet is not None:
+                packets.append(packet)
+        return packets
+
+    def _subscribe_view(
+        self, session: PlayerSession, old_view: set[ChunkPos], new_view: set[ChunkPos]
+    ) -> None:
+        dyconits = self.server.dyconits
+        if dyconits is None:
+            return
+        partitioner = dyconits.partitioner
+        center = session.anchor_chunk
+        if center is None:
+            return
+        # Resolve through merge aliases *before* diffing: two chunks merged
+        # into one dyconit must not be unsubscribed while either is still
+        # in view.
+        new_ids = {
+            dyconits.resolve(dyconit_id)
+            for dyconit_id in partitioner.dyconits_for_view(center, session.view_distance)
+        }
+        old_ids: set = set()
+        if old_view:
+            old_ids = {
+                dyconits.resolve(partitioner.dyconit_for_chunk(chunk))
+                for chunk in old_view
+            }
+            # The global dyconit (chat) is part of every view; keep it out
+            # of the unsubscribe diff.
+            old_ids.add(GLOBAL_DYCONIT)
+        subscriber = dyconits.subscriber(session.client_id)
+        if subscriber is None:
+            return
+        for dyconit_id in new_ids - old_ids:
+            dyconits.subscribe(dyconit_id, subscriber)
+        for dyconit_id in old_ids - new_ids:
+            # Updates about an area leaving the view are obsolete: the
+            # client is unloading those chunks. Drop, do not flush.
+            dyconits.unsubscribe(dyconit_id, session.client_id, flush_pending=False)

@@ -1,0 +1,44 @@
+"""Per-player session state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.world.geometry import ChunkPos, Vec3
+
+
+@dataclass
+class PlayerSession:
+    """Server-side state for one connected player.
+
+    ``known_entities`` mirrors what the *client* currently knows: the last
+    position sent for every entity in view. The codec uses it to choose
+    relative-move vs teleport packets and to decide when a spawn packet
+    must precede a movement update.
+    """
+
+    client_id: int
+    entity_id: int
+    name: str
+    view_distance: int
+    #: Chunks currently streamed to this client.
+    view_chunks: set[ChunkPos] = field(default_factory=set)
+    #: entity id -> last position sent to this client.
+    known_entities: dict[int, Vec3] = field(default_factory=dict)
+    #: entity id -> event time of the newest update applied for it. Used
+    #: to drop stale updates when flushes from different dyconits arrive
+    #: out of cross-dyconit order (per-entity last-writer-wins).
+    entity_update_times: dict[int, float] = field(default_factory=dict)
+    #: Chunk the player's avatar occupied at the last interest refresh.
+    anchor_chunk: ChunkPos | None = None
+    connected_at: float = 0.0
+    actions_received: int = 0
+    packets_sent: int = 0
+
+    def sees_chunk(self, chunk: ChunkPos) -> bool:
+        return chunk in self.view_chunks
+
+    def forget_entity(self, entity_id: int) -> bool:
+        """Drop an entity from the client's known set; True if it was known."""
+        self.entity_update_times.pop(entity_id, None)
+        return self.known_entities.pop(entity_id, None) is not None

@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel (substrate S1).
+
+The kernel provides simulated time in *milliseconds*, a deterministic
+event queue, and seeded random-number derivation so that every experiment
+in this repository is exactly reproducible from a single integer seed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.simulator import Simulation
+
+__all__ = [
+    "SimClock",
+    "EventQueue",
+    "ScheduledEvent",
+    "Simulation",
+    "derive_rng",
+    "derive_seed",
+]

@@ -1,0 +1,44 @@
+"""Simulated clock.
+
+All timestamps in the simulation are floats in *milliseconds* since the
+start of the run. Using milliseconds keeps the numbers aligned with the
+game's natural unit (the 50 ms server tick) and with the paper's reported
+tick-duration and staleness figures.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated clock.
+
+    The clock can only move forward; the simulation kernel advances it as
+    events are dispatched. Everything else reads it through :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ValueError` on any attempt to move backwards, which
+        would indicate a scheduling bug.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested={when}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f}ms)"

@@ -1,0 +1,43 @@
+"""Modifiable Virtual Environment (MVE) substrate (S2).
+
+A Minecraft-like world: a block grid partitioned into 16x16 column chunks,
+deterministic procedural terrain, and dynamic entities (players, mobs).
+The :class:`~repro.world.world.World` is the authoritative copy of the MVE;
+clients hold replicas that the middleware keeps boundedly consistent.
+"""
+
+from repro.world.block import BlockType
+from repro.world.chunk import CHUNK_SIZE, WORLD_HEIGHT, Chunk
+from repro.world.entity import Entity, EntityKind
+from repro.world.events import (
+    BlockChangeEvent,
+    ChatEvent,
+    EntityDespawnEvent,
+    EntityMoveEvent,
+    EntitySpawnEvent,
+    WorldEvent,
+)
+from repro.world.geometry import BlockPos, ChunkPos, Vec3, chunks_in_radius
+from repro.world.terrain import TerrainGenerator
+from repro.world.world import World
+
+__all__ = [
+    "BlockType",
+    "Chunk",
+    "CHUNK_SIZE",
+    "WORLD_HEIGHT",
+    "Entity",
+    "EntityKind",
+    "WorldEvent",
+    "BlockChangeEvent",
+    "EntityMoveEvent",
+    "EntitySpawnEvent",
+    "EntityDespawnEvent",
+    "ChatEvent",
+    "Vec3",
+    "BlockPos",
+    "ChunkPos",
+    "chunks_in_radius",
+    "TerrainGenerator",
+    "World",
+]

@@ -1,0 +1,84 @@
+"""Chunk storage.
+
+A chunk is a 16x16 column of blocks, ``WORLD_HEIGHT`` blocks tall, stored
+as a dense ``numpy`` array of block ids. The world height is 64 rather
+than Minecraft's 256 to keep hundreds of simulated chunks cheap in memory;
+the serializer's size model accounts for the real per-section encoding so
+byte counts remain representative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.world.block import BlockType
+from repro.world.geometry import CHUNK_SIZE, BlockPos, ChunkPos
+
+WORLD_HEIGHT = 64
+
+
+class Chunk:
+    """Dense block storage for one 16x16 column of the world."""
+
+    __slots__ = ("pos", "blocks", "_non_air", "modified_count")
+
+    def __init__(self, pos: ChunkPos, blocks: np.ndarray | None = None) -> None:
+        self.pos = pos
+        if blocks is None:
+            blocks = np.zeros((CHUNK_SIZE, WORLD_HEIGHT, CHUNK_SIZE), dtype=np.uint16)
+        if blocks.shape != (CHUNK_SIZE, WORLD_HEIGHT, CHUNK_SIZE):
+            raise ValueError(
+                f"chunk array must be {(CHUNK_SIZE, WORLD_HEIGHT, CHUNK_SIZE)}, "
+                f"got {blocks.shape}"
+            )
+        self.blocks = blocks
+        self._non_air = int(np.count_nonzero(blocks))
+        #: Number of block mutations applied after generation; a proxy for
+        #: how "modified" (player-built) this part of the MVE is.
+        self.modified_count = 0
+
+    @property
+    def non_air_count(self) -> int:
+        """Number of non-air blocks; drives the chunk-data packet size model."""
+        return self._non_air
+
+    def contains(self, pos: BlockPos) -> bool:
+        return pos.to_chunk_pos() == self.pos and 0 <= pos.y < WORLD_HEIGHT
+
+    def get_block(self, pos: BlockPos) -> BlockType:
+        lx, y, lz = self._local(pos)
+        return BlockType(int(self.blocks[lx, y, lz]))
+
+    def set_block(self, pos: BlockPos, block: BlockType) -> BlockType:
+        """Set the block at ``pos``; returns the previous block type."""
+        lx, y, lz = self._local(pos)
+        old = BlockType(int(self.blocks[lx, y, lz]))
+        if old == block:
+            return old
+        self.blocks[lx, y, lz] = int(block)
+        if old == BlockType.AIR and block != BlockType.AIR:
+            self._non_air += 1
+        elif old != BlockType.AIR and block == BlockType.AIR:
+            self._non_air -= 1
+        self.modified_count += 1
+        return old
+
+    def surface_height(self, x: int, z: int) -> int:
+        """Y of the highest non-air block in the (x, z) column, or -1."""
+        lx = x & (CHUNK_SIZE - 1)
+        lz = z & (CHUNK_SIZE - 1)
+        column = self.blocks[lx, :, lz]
+        nonzero = np.nonzero(column)[0]
+        if nonzero.size == 0:
+            return -1
+        return int(nonzero[-1])
+
+    def _local(self, pos: BlockPos) -> tuple[int, int, int]:
+        if not (0 <= pos.y < WORLD_HEIGHT):
+            raise ValueError(f"y={pos.y} outside world height [0, {WORLD_HEIGHT})")
+        if pos.to_chunk_pos() != self.pos:
+            raise ValueError(f"block {pos} is not inside chunk {self.pos}")
+        return pos.local()
+
+    def __repr__(self) -> str:
+        return f"Chunk({self.pos}, non_air={self._non_air}, modified={self.modified_count})"

@@ -1,0 +1,155 @@
+"""World events.
+
+Every mutation of the authoritative world emits exactly one event. Events
+are what the server (vanilla path) or the dyconit middleware (bounded
+path) turns into network packets, and what replicas apply to converge.
+
+Each event carries:
+
+* ``time`` — simulated time of the mutation;
+* a *merge key* — later events with the same key supersede earlier ones
+  (the basis of flush-time update merging);
+* a *weight* — its contribution to conit-style numerical error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.world.block import BlockType
+from repro.world.entity import EntityKind
+from repro.world.geometry import BlockPos, ChunkPos, Vec3
+
+
+@dataclass(frozen=True, slots=True)
+class WorldEvent:
+    """Base class for all world events."""
+
+    time: float
+
+    @property
+    def merge_key(self) -> tuple:
+        """Events sharing a merge key can be superseded by the newest one.
+
+        The default is identity (no merging): each event is its own key.
+        """
+        return (id(self),)
+
+    @property
+    def weight(self) -> float:
+        """Numerical-error weight in the conit model."""
+        return 1.0
+
+    @property
+    def chunk_pos(self) -> ChunkPos | None:
+        """Chunk the event belongs to, for spatial routing; None if global."""
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class BlockChangeEvent(WorldEvent):
+    """A single block changed state."""
+
+    pos: BlockPos
+    old_block: BlockType
+    new_block: BlockType
+    actor_id: int | None = None
+
+    @property
+    def merge_key(self) -> tuple:
+        # Later changes to the same block supersede earlier ones.
+        return ("block", self.pos.x, self.pos.y, self.pos.z)
+
+    @property
+    def weight(self) -> float:
+        return 1.0
+
+    @property
+    def chunk_pos(self) -> ChunkPos:
+        return self.pos.to_chunk_pos()
+
+
+@dataclass(frozen=True, slots=True)
+class EntityMoveEvent(WorldEvent):
+    """An entity moved (and/or rotated)."""
+
+    entity_id: int
+    old_position: Vec3
+    new_position: Vec3
+    yaw: float = 0.0
+    pitch: float = 0.0
+
+    @property
+    def merge_key(self) -> tuple:
+        # Only the newest position matters to a replica.
+        return ("move", self.entity_id)
+
+    @property
+    def weight(self) -> float:
+        # Positional error contributed by *not* delivering this move.
+        return self.new_position.distance_to(self.old_position)
+
+    @property
+    def chunk_pos(self) -> ChunkPos:
+        return self.new_position.to_chunk_pos()
+
+
+@dataclass(frozen=True, slots=True)
+class EntitySpawnEvent(WorldEvent):
+    """An entity entered the world."""
+
+    entity_id: int
+    kind: EntityKind
+    position: Vec3
+    name: str = ""
+
+    @property
+    def merge_key(self) -> tuple:
+        return ("spawn", self.entity_id)
+
+    @property
+    def weight(self) -> float:
+        # Spawns are structurally significant; a large weight makes any
+        # finite numerical bound deliver them promptly.
+        return 100.0
+
+    @property
+    def chunk_pos(self) -> ChunkPos:
+        return self.position.to_chunk_pos()
+
+
+@dataclass(frozen=True, slots=True)
+class EntityDespawnEvent(WorldEvent):
+    """An entity left the world."""
+
+    entity_id: int
+    position: Vec3
+
+    @property
+    def merge_key(self) -> tuple:
+        # A despawn supersedes any queued spawn/moves of the same entity.
+        return ("spawn", self.entity_id)
+
+    @property
+    def weight(self) -> float:
+        return 100.0
+
+    @property
+    def chunk_pos(self) -> ChunkPos:
+        return self.position.to_chunk_pos()
+
+
+@dataclass(frozen=True, slots=True)
+class ChatEvent(WorldEvent):
+    """A chat message; global, never merged, order-sensitive."""
+
+    sender_id: int
+    text: str
+
+    @property
+    def merge_key(self) -> tuple:
+        return ("chat", self.sender_id, self.time, self.text)
+
+    @property
+    def weight(self) -> float:
+        return 10.0

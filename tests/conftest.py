@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.subscription import Subscriber
+from repro.server.config import ServerConfig
+from repro.server.engine import GameServer
+from repro.sim.simulator import Simulation
+from repro.world.world import World
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation()
+
+
+@pytest.fixture
+def world() -> World:
+    return World(seed=1234)
+
+
+@pytest.fixture
+def server_factory(sim):
+    """Factory building a started server inside the shared simulation."""
+
+    def build(policy=None, direct_mode=False, **config_kwargs) -> GameServer:
+        config = ServerConfig(seed=1234, **config_kwargs)
+        server = GameServer(
+            sim,
+            world=World(seed=1234),
+            config=config,
+            policy=policy,
+            direct_mode=direct_mode,
+        )
+        server.start()
+        return server
+
+    return build
+
+
+class RecordingSubscriber:
+    """A subscriber that records everything delivered to it."""
+
+    def __init__(self, subscriber_id: int = 1, position=None):
+        self.deliveries: list[tuple[object, list]] = []
+        self.subscriber = Subscriber(
+            subscriber_id=subscriber_id,
+            deliver=lambda dyconit_id, updates: self.deliveries.append(
+                (dyconit_id, list(updates))
+            ),
+            position_provider=(lambda: position) if position is not None else None,
+        )
+
+    @property
+    def delivered_updates(self) -> list:
+        return [update for __, updates in self.deliveries for update in updates]
+
+
+@pytest.fixture
+def recording_subscriber() -> RecordingSubscriber:
+    return RecordingSubscriber()

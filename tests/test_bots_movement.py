@@ -1,0 +1,94 @@
+"""Unit tests for bot movement models."""
+
+import math
+import random
+
+from repro.bots.movement import (
+    WALK_SPEED,
+    HotspotModel,
+    RandomWaypointModel,
+    TrekModel,
+)
+from repro.world.geometry import Vec3
+
+
+def rng(seed=0):
+    return random.Random(seed)
+
+
+class TestRandomWaypoint:
+    def test_waypoints_within_radius(self):
+        model = RandomWaypointModel(center=Vec3(10, 0, 10), radius=50.0)
+        r = rng()
+        for _ in range(200):
+            waypoint = model.next_waypoint(r, Vec3(0, 0, 0))
+            distance = math.hypot(waypoint.x - 10, waypoint.z - 10)
+            assert distance <= 50.0 + 1e-9
+
+    def test_deterministic_given_rng(self):
+        model = RandomWaypointModel()
+        a = model.next_waypoint(rng(7), Vec3(0, 0, 0))
+        b = model.next_waypoint(rng(7), Vec3(0, 0, 0))
+        assert a == b
+
+    def test_rejects_bad_radius(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomWaypointModel(radius=0.0)
+
+
+class TestHotspot:
+    def test_full_gravity_clusters_near_hotspots(self):
+        hotspots = [Vec3(0, 0, 0)]
+        model = HotspotModel(hotspots=hotspots, gravity=1.0, hotspot_spread=5.0)
+        r = rng()
+        distances = [
+            math.hypot(w.x, w.z)
+            for w in (model.next_waypoint(r, Vec3(500, 0, 500)) for _ in range(300))
+        ]
+        mean_distance = sum(distances) / len(distances)
+        assert mean_distance < 15.0  # ~ Rayleigh mean with sigma 5
+
+    def test_zero_gravity_wanders_locally(self):
+        model = HotspotModel(gravity=0.0, wander_radius=10.0)
+        r = rng()
+        origin = Vec3(100.0, 0.0, 100.0)
+        for _ in range(100):
+            waypoint = model.next_waypoint(r, origin)
+            assert origin.horizontal_distance_to(waypoint) <= 10.0 + 1e-9
+
+    def test_first_hotspot_is_busiest(self):
+        hotspots = [Vec3(0, 0, 0), Vec3(1000, 0, 1000)]
+        model = HotspotModel(hotspots=hotspots, gravity=1.0, hotspot_spread=1.0)
+        r = rng()
+        near_first = 0
+        trials = 500
+        for _ in range(trials):
+            w = model.next_waypoint(r, Vec3(0, 0, 0))
+            if math.hypot(w.x, w.z) < 500:
+                near_first += 1
+        assert near_first > trials / 2  # Zipf weights 1 : 1/2
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HotspotModel(gravity=1.5)
+        with pytest.raises(ValueError):
+            HotspotModel(hotspots=[])
+
+
+class TestTrek:
+    def test_progresses_along_heading(self):
+        model = TrekModel(heading_degrees=0.0, leg_length=60.0)
+        r = rng()
+        position = Vec3(0, 0, 0)
+        for _ in range(5):
+            position = model.next_waypoint(r, position)
+        assert position.x > 200.0  # mostly eastward
+        assert abs(position.z) < position.x
+
+
+def test_walk_speed_matches_minecraft():
+    assert WALK_SPEED == 4.317

@@ -1,0 +1,108 @@
+"""Behavioural tests for workload orchestration."""
+
+import pytest
+
+from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+from repro.policies.zero import ZeroBoundsPolicy
+
+
+@pytest.fixture
+def server(server_factory):
+    return server_factory(policy=ZeroBoundsPolicy(), synchronous_delivery=True)
+
+
+def test_behavior_mix_validation():
+    with pytest.raises(ValueError):
+        BehaviorMix(build=0.6, dig=0.6)
+    with pytest.raises(ValueError):
+        BehaviorMix(build=-0.1)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(bots=-1)
+    with pytest.raises(ValueError):
+        WorkloadSpec(movement="flying")
+
+
+def test_fleet_connects_with_stagger(sim, server):
+    spec = WorkloadSpec(bots=5, seed=3, arrival_stagger_ms=100.0)
+    workload = Workload(sim, server, spec)
+    workload.start()
+    sim.run_until(150.0)
+    assert workload.connected_count == 2  # t=0 and t=100 connected
+    sim.run_until(1_000.0)
+    assert workload.connected_count == 5
+
+
+def test_bots_generate_traffic(sim, server):
+    workload = Workload(sim, server, WorkloadSpec(bots=5, seed=3, arrival_stagger_ms=0.0))
+    workload.start()
+    sim.run_until(3_000.0)
+    assert server.transport.total_bytes() > 0
+    assert server.dyconits.stats.commits > 0
+
+
+def test_add_and_remove_bots(sim, server):
+    workload = Workload(sim, server, WorkloadSpec(bots=3, seed=3, arrival_stagger_ms=0.0))
+    workload.start()
+    sim.run_until(500.0)
+    workload.add_bots(4, stagger_ms=0.0)
+    assert workload.connected_count == 7
+    removed = workload.remove_bots(5)
+    assert removed == 5
+    assert workload.connected_count == 2
+    assert server.player_count == 2
+
+
+def test_staggered_burst_joins_over_time(sim, server):
+    workload = Workload(sim, server, WorkloadSpec(bots=2, seed=3, arrival_stagger_ms=0.0))
+    workload.start()
+    sim.run_until(200.0)
+    workload.add_bots(4, stagger_ms=100.0)
+    assert workload.connected_count == 3  # offset 0 connects immediately
+    sim.run_until(sim.now + 350.0)
+    assert workload.connected_count == 6
+
+
+def test_remove_cancels_pending_burst_joins(sim, server):
+    workload = Workload(sim, server, WorkloadSpec(bots=2, seed=3, arrival_stagger_ms=0.0))
+    workload.start()
+    sim.run_until(200.0)
+    workload.add_bots(3, stagger_ms=10_000.0)  # far in the future
+    removed = workload.remove_bots(3)
+    assert removed == 3
+    sim.run_until(sim.now + 25_000.0)
+    assert workload.connected_count == 2  # cancelled joins never fire
+
+
+def test_measurement_histograms_fill(sim, server):
+    spec = WorkloadSpec(bots=4, seed=3, arrival_stagger_ms=0.0, measure_interval_ms=200.0)
+    workload = Workload(sim, server, spec)
+    workload.start()
+    sim.run_until(3_000.0)
+    assert workload.error_histogram.count > 0
+
+
+def test_measurement_can_be_disabled(sim, server):
+    spec = WorkloadSpec(bots=2, seed=3, measure_interval_ms=0.0)
+    workload = Workload(sim, server, spec)
+    workload.start()
+    sim.run_until(2_000.0)
+    assert workload.error_histogram.count == 0
+
+
+def test_stop_disconnects_everyone(sim, server):
+    workload = Workload(sim, server, WorkloadSpec(bots=3, seed=3, arrival_stagger_ms=0.0))
+    workload.start()
+    sim.run_until(500.0)
+    workload.stop()
+    assert workload.connected_count == 0
+    assert server.player_count == 0
+
+
+def test_movement_models_per_spec(sim, server):
+    for movement in ("hotspot", "uniform", "trek"):
+        workload = Workload(sim, server, WorkloadSpec(bots=1, seed=3, movement=movement))
+        bot_model = workload._movement_for(0)
+        assert bot_model is not None

@@ -1,0 +1,99 @@
+"""Unit tests for world-to-dyconit partitioning."""
+
+from repro.core.partition import (
+    GLOBAL_DYCONIT,
+    ChunkPartitioner,
+    GlobalPartitioner,
+    RegionPartitioner,
+    centroid_of,
+)
+from repro.world.block import BlockType
+from repro.world.events import BlockChangeEvent, ChatEvent, EntityMoveEvent
+from repro.world.geometry import BlockPos, ChunkPos, Vec3
+
+import pytest
+
+
+def block_event(x=0, z=0):
+    return BlockChangeEvent(0.0, BlockPos(x, 10, z), BlockType.AIR, BlockType.STONE)
+
+
+def move_event(x=0.0, z=0.0):
+    return EntityMoveEvent(0.0, 1, Vec3(0, 0, 0), Vec3(x, 0, z))
+
+
+class TestChunkPartitioner:
+    def setup_method(self):
+        self.partitioner = ChunkPartitioner()
+
+    def test_block_events_route_to_their_chunk(self):
+        assert self.partitioner.dyconit_for_event(block_event(17, -1)) == ("chunk", 1, -1)
+
+    def test_moves_route_to_destination_chunk(self):
+        assert self.partitioner.dyconit_for_event(move_event(33.0, 0.0)) == ("chunk", 2, 0)
+
+    def test_chat_routes_to_global(self):
+        assert self.partitioner.dyconit_for_event(ChatEvent(0.0, 1, "hi")) == GLOBAL_DYCONIT
+
+    def test_view_covers_square_plus_global(self):
+        ids = self.partitioner.dyconits_for_view(ChunkPos(0, 0), radius=2)
+        assert len(ids) == 25 + 1
+        assert GLOBAL_DYCONIT in ids
+        assert ("chunk", 2, 2) in ids
+        assert ("chunk", 3, 0) not in ids
+
+    def test_chunk_of_roundtrip(self):
+        dyconit_id = self.partitioner.dyconit_for_chunk(ChunkPos(4, -7))
+        assert self.partitioner.chunk_of(dyconit_id) == ChunkPos(4, -7)
+        assert self.partitioner.chunk_of(GLOBAL_DYCONIT) is None
+
+    def test_centroid(self):
+        centroid = centroid_of(("chunk", 1, 1), self.partitioner)
+        assert (centroid.x, centroid.z) == (24.0, 24.0)
+
+
+class TestRegionPartitioner:
+    def test_groups_chunks_into_regions(self):
+        partitioner = RegionPartitioner(region_size=4)
+        a = partitioner.dyconit_for_chunk(ChunkPos(0, 0))
+        b = partitioner.dyconit_for_chunk(ChunkPos(3, 3))
+        c = partitioner.dyconit_for_chunk(ChunkPos(4, 0))
+        assert a == b != c
+
+    def test_negative_chunks_group_contiguously(self):
+        partitioner = RegionPartitioner(region_size=4)
+        a = partitioner.dyconit_for_chunk(ChunkPos(-1, -1))
+        b = partitioner.dyconit_for_chunk(ChunkPos(-4, -4))
+        c = partitioner.dyconit_for_chunk(ChunkPos(-5, -1))
+        assert a == b != c
+
+    def test_view_produces_fewer_dyconits_than_chunks(self):
+        partitioner = RegionPartitioner(region_size=4)
+        ids = partitioner.dyconits_for_view(ChunkPos(0, 0), radius=4)
+        assert len(ids) < 81
+
+    def test_event_routing_matches_chunk_mapping(self):
+        partitioner = RegionPartitioner(region_size=2)
+        event = block_event(35, 2)  # chunk (2, 0) -> region (1, 0)
+        assert partitioner.dyconit_for_event(event) == partitioner.dyconit_for_chunk(
+            ChunkPos(2, 0)
+        )
+
+    def test_chunk_of_returns_region_center(self):
+        partitioner = RegionPartitioner(region_size=4)
+        dyconit_id = partitioner.dyconit_for_chunk(ChunkPos(0, 0))
+        center = partitioner.chunk_of(dyconit_id)
+        assert center == ChunkPos(2, 2)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            RegionPartitioner(region_size=0)
+
+
+class TestGlobalPartitioner:
+    def test_everything_routes_to_global(self):
+        partitioner = GlobalPartitioner()
+        assert partitioner.dyconit_for_event(block_event()) == GLOBAL_DYCONIT
+        assert partitioner.dyconit_for_event(move_event()) == GLOBAL_DYCONIT
+        assert partitioner.dyconits_for_view(ChunkPos(9, 9), 5) == {GLOBAL_DYCONIT}
+        assert partitioner.chunk_of(GLOBAL_DYCONIT) is None

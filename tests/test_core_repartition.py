@@ -1,0 +1,129 @@
+"""Unit tests for runtime dyconit merging and splitting."""
+
+import pytest
+
+from repro.core.bounds import Bounds
+from repro.core.manager import DyconitSystem
+from repro.core.partition import ChunkPartitioner
+from repro.core.policy import Policy
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
+
+from tests.conftest import RecordingSubscriber
+
+
+class StaticPolicy(Policy):
+    def __init__(self, bounds=Bounds(10.0, 1000.0)):
+        self.bounds = bounds
+
+    def initial_bounds(self, system, dyconit_id, subscriber):
+        return self.bounds
+
+
+def move(entity_id=1, time=0.0, x=0.0):
+    return EntityMoveEvent(time, entity_id, Vec3(x, 0, 0), Vec3(x + 1, 0, 0))
+
+
+@pytest.fixture
+def system():
+    return DyconitSystem(StaticPolicy(), ChunkPartitioner(), time_source=lambda: 0.0)
+
+
+CHUNK_A = ("chunk", 0, 0)
+CHUNK_B = ("chunk", 1, 0)
+MERGED = ("region", 4, 0, 0)
+
+
+def test_merge_moves_subscriptions(system):
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.subscribe(CHUNK_B, rec.subscriber)
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    assert system.get(CHUNK_A) is None
+    assert system.get(MERGED).is_subscribed(rec.subscriber.subscriber_id)
+    assert system.subscriptions_of(rec.subscriber.subscriber_id) == {MERGED}
+    assert system.is_merged(CHUNK_A)
+    assert system.alias_count == 2
+
+
+def test_commits_to_merged_source_route_to_target(system):
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    # Event in chunk (0, 0) routes via the partitioner to CHUNK_A, which
+    # is now an alias of MERGED.
+    system.commit(move(1, x=0.0))
+    state = system.get(MERGED).get_state(rec.subscriber.subscriber_id)
+    assert state.has_pending
+
+
+def test_merge_takes_tightest_bounds(system):
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber, bounds=Bounds(2.0, 900.0))
+    system.subscribe(CHUNK_B, rec.subscriber, bounds=Bounds(8.0, 100.0))
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    state = system.get(MERGED).get_state(rec.subscriber.subscriber_id)
+    assert state.bounds.numerical == 2.0
+    assert state.bounds.staleness_ms == 100.0
+
+
+def test_merge_preserves_pending_updates(system):
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.commit_to(CHUNK_A, move(1, time=1.0))
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    state = system.get(MERGED).get_state(rec.subscriber.subscriber_id)
+    assert len(state.pending) == 1
+
+
+def test_merge_is_idempotent_for_same_target(system):
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)  # aliases resolve; no-op
+    assert system.alias_count == 2
+
+
+def test_split_restores_routing(system):
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    released = system.split_dyconit(MERGED)
+    assert set(released) == {CHUNK_A, CHUNK_B}
+    assert not system.is_merged(CHUNK_A)
+    assert system.get(MERGED) is None
+    # Subscribers stayed subscribed to the released ids: no update loss.
+    assert system.get(CHUNK_A).is_subscribed(rec.subscriber.subscriber_id)
+    assert system.get(CHUNK_B).is_subscribed(rec.subscriber.subscriber_id)
+    system.commit(move(1, x=0.0))
+    state = system.get(CHUNK_A).get_state(rec.subscriber.subscriber_id)
+    assert state.has_pending
+
+
+def test_split_flushes_target_backlog(system):
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    system.commit(move(1, x=0.0))
+    system.split_dyconit(MERGED)
+    assert len(rec.delivered_updates) == 1
+
+
+def test_merge_then_subscribe_via_source_id(system):
+    """Subscribing through a merged source id lands on the target."""
+    rec = RecordingSubscriber()
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    system.subscribe(CHUNK_A, rec.subscriber)
+    assert system.subscriptions_of(rec.subscriber.subscriber_id) == {MERGED}
+
+
+def test_alias_cycle_detected(system):
+    system._aliases[CHUNK_A] = CHUNK_B
+    system._aliases[CHUNK_B] = CHUNK_A
+    with pytest.raises(RuntimeError):
+        system.resolve(CHUNK_A)
+
+
+def test_merge_accumulates_hotness(system):
+    system.commit_to(CHUNK_A, move(1))
+    system.commit_to(CHUNK_B, move(2))
+    target = system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    assert target.commit_count == 2

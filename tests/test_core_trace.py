@@ -1,0 +1,97 @@
+"""Unit tests for middleware decision tracing."""
+
+import pytest
+
+from repro.core.bounds import Bounds
+from repro.core.manager import DyconitSystem
+from repro.core.policy import Policy
+from repro.core.trace import DyconitTracer, TraceEvent
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
+
+from tests.conftest import RecordingSubscriber
+
+
+class P(Policy):
+    def initial_bounds(self, system, dyconit_id, subscriber):
+        return Bounds(0.5, 1e9)
+
+
+def move(entity_id=1, time=0.0):
+    return EntityMoveEvent(time, entity_id, Vec3(0, 0, 0), Vec3(1, 0, 0))
+
+
+def make_traced_system():
+    system = DyconitSystem(P(), time_source=lambda: 0.0)
+    system.tracer = DyconitTracer(capacity=100)
+    return system
+
+
+def test_flush_is_traced_with_reason():
+    system = make_traced_system()
+    rec = RecordingSubscriber()
+    system.subscribe(("chunk", 0, 0), rec.subscriber)
+    system.commit(move())
+    flushes = system.tracer.events(kind="flush")
+    assert len(flushes) == 1
+    assert "reason=numerical" in flushes[0].detail
+    assert flushes[0].subscriber_id == rec.subscriber.subscriber_id
+
+
+def test_bounds_change_is_traced():
+    system = make_traced_system()
+    rec = RecordingSubscriber()
+    system.subscribe(("chunk", 0, 0), rec.subscriber)
+    system.set_bounds(("chunk", 0, 0), rec.subscriber.subscriber_id, Bounds(9.0, 90.0))
+    events = system.tracer.events(kind="bounds")
+    assert len(events) == 1
+    assert "numerical=9" in events[0].detail
+
+
+def test_merge_and_split_are_traced():
+    system = make_traced_system()
+    system.merge_dyconits([("chunk", 0, 0), ("chunk", 1, 0)], ("region", 4, 0, 0))
+    system.split_dyconit(("region", 4, 0, 0))
+    assert system.tracer.counts["merge"] == 2
+    assert system.tracer.counts["split"] == 2
+
+
+def test_ring_buffer_caps_memory():
+    tracer = DyconitTracer(capacity=5)
+    for index in range(20):
+        tracer.record(float(index), "flush", "d")
+    assert len(tracer) == 5
+    assert tracer.counts["flush"] == 20  # counters keep the full total
+    assert [event.time for event in tracer] == [15.0, 16.0, 17.0, 18.0, 19.0]
+
+
+def test_filtering_by_dyconit():
+    tracer = DyconitTracer()
+    tracer.record(0.0, "flush", "a")
+    tracer.record(1.0, "flush", "b")
+    assert len(tracer.events(dyconit_id="a")) == 1
+
+
+def test_format_tail():
+    tracer = DyconitTracer()
+    tracer.record(5.0, "flush", ("chunk", 0, 0), 7, "reason=staleness updates=3")
+    text = tracer.format_tail()
+    assert "flush" in text and "reason=staleness" in text
+
+
+def test_event_str():
+    event = TraceEvent(1.0, "merge", "x", None, "into y")
+    assert "merge" in str(event)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        DyconitTracer(capacity=0)
+
+
+def test_untraced_system_pays_nothing():
+    system = DyconitSystem(P(), time_source=lambda: 0.0)
+    rec = RecordingSubscriber()
+    system.subscribe(("chunk", 0, 0), rec.subscriber)
+    system.commit(move())  # no tracer attached; must not raise
+    assert system.tracer is None

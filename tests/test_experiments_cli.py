@@ -1,0 +1,28 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_e1_runs_and_prints(capsys):
+    assert main(["e1", "--bots", "5", "--duration", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "E1 bandwidth by policy" in out
+    assert "adaptive" in out
+
+
+def test_e2_accepts_counts(capsys):
+    assert main(["e2", "--counts", "4,8", "--duration", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "capacity" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["e99"])

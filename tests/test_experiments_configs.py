@@ -1,0 +1,78 @@
+"""Unit tests for experiment configuration factories."""
+
+import pytest
+
+from repro.core.partition import ChunkPartitioner, GlobalPartitioner, RegionPartitioner
+from repro.experiments.configs import ExperimentConfig, make_partitioner, make_policy
+from repro.policies import (
+    AdaptiveBoundsPolicy,
+    DistanceBasedPolicy,
+    FixedBoundsPolicy,
+    InfiniteBoundsPolicy,
+    InterestCutoffPolicy,
+    ZeroBoundsPolicy,
+)
+
+
+class TestMakePolicy:
+    def test_vanilla_is_none(self):
+        assert make_policy("vanilla") is None
+
+    def test_known_policies(self):
+        assert isinstance(make_policy("zero"), ZeroBoundsPolicy)
+        assert isinstance(make_policy("infinite"), InfiniteBoundsPolicy)
+        assert isinstance(make_policy("fixed"), FixedBoundsPolicy)
+        assert isinstance(make_policy("aoi"), InterestCutoffPolicy)
+        assert isinstance(make_policy("distance"), DistanceBasedPolicy)
+        assert isinstance(make_policy("adaptive"), AdaptiveBoundsPolicy)
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("adaptive", evaluation_period_ms=123.0)
+        assert policy.evaluation_period_ms == 123.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("telepathy")
+
+
+class TestMakePartitioner:
+    def test_chunk(self):
+        assert isinstance(make_partitioner("chunk"), ChunkPartitioner)
+
+    def test_region_with_size(self):
+        partitioner = make_partitioner("region:8")
+        assert isinstance(partitioner, RegionPartitioner)
+        assert partitioner.region_size == 8
+
+    def test_global(self):
+        assert isinstance(make_partitioner("global"), GlobalPartitioner)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_partitioner("octree")
+
+
+class TestExperimentConfig:
+    def test_warmup_must_precede_end(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(duration_ms=1000.0, warmup_ms=1000.0)
+
+    def test_with_override(self):
+        config = ExperimentConfig(bots=10)
+        other = config.with_(bots=99)
+        assert other.bots == 99
+        assert config.bots == 10
+
+    def test_build_policy_vanilla(self):
+        assert ExperimentConfig(policy="vanilla").build_policy() is None
+
+    def test_build_server_config_carries_seed_and_view(self):
+        config = ExperimentConfig(seed=7, view_distance=3)
+        server_config = config.build_server_config()
+        assert server_config.seed == 7
+        assert server_config.view_distance == 3
+
+    def test_build_workload_spec(self):
+        spec = ExperimentConfig(bots=12, movement="uniform").build_workload_spec()
+        assert spec.bots == 12
+        assert spec.movement == "uniform"

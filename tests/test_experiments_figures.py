@@ -1,0 +1,84 @@
+"""Smoke tests for the per-figure experiment drivers (tiny scale).
+
+The benchmarks run these at meaningful scale and assert the paper's
+shapes; here we only verify each driver runs end-to-end and produces
+well-formed rows and a rendered table.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+TINY = dict(bots=6, duration_ms=4_000.0, warmup_ms=1_500.0, seed=9)
+
+
+def test_bandwidth_by_policy_rows():
+    out = figures.bandwidth_by_policy(policies=("zero", "fixed"), **TINY)
+    assert {row["policy"] for row in out["rows"]} == {"zero", "fixed"}
+    assert "E1" in out["table"]
+    zero_row = next(row for row in out["rows"] if row["policy"] == "zero")
+    assert zero_row["reduction %"] == pytest.approx(0.0)
+
+
+def test_capacity_sweep_shapes():
+    out = figures.capacity_sweep(
+        policies=("vanilla",), bot_counts=(4, 8),
+        duration_ms=4_000.0, warmup_ms=2_000.0, seed=9,
+    )
+    assert out["capacities"]["vanilla"] == 8.0  # tiny fleet never saturates
+    assert len(out["curves"]["vanilla"]) == 2
+
+
+def test_capacity_interpolation():
+    curve = [(50, 20.0), (100, 40.0), (150, 80.0)]
+    assert figures._capacity_at(curve, budget_ms=50.0) == pytest.approx(112.5)
+
+
+def test_capacity_all_over_budget():
+    assert figures._capacity_at([(50, 90.0)], budget_ms=50.0) == 0.0
+
+
+def test_capacity_all_under_budget():
+    assert figures._capacity_at([(50, 10.0), (100, 20.0)], budget_ms=50.0) == 100.0
+
+
+def test_inconsistency_rows():
+    out = figures.inconsistency_by_policy(policies=("zero", "infinite"), **TINY)
+    rows = {row["policy"]: row for row in out["rows"]}
+    assert rows["infinite"]["err mean"] >= rows["zero"]["err mean"]
+
+
+def test_latency_rows():
+    out = figures.latency_by_policy(policies=("vanilla", "zero"), **TINY)
+    rows = {row["policy"]: row for row in out["rows"]}
+    assert rows["vanilla"]["net p50 ms"] > 0
+    assert rows["vanilla"]["queue p99 ms"] == 0.0
+
+
+def test_dynamics_timeline_runs():
+    out = figures.dynamics_timeline(
+        base_bots=4, burst_bots=8, duration_ms=24_000.0,
+        burst_at_ms=8_000.0, burst_end_ms=16_000.0, seed=9,
+    )
+    assert "E6" in out["table"]
+    assert out["result"].player_timeline[-1][1] == 4  # burst left again
+
+
+def test_policy_summary_rows():
+    out = figures.policy_summary_table(policies=("zero", "fixed"), **TINY)
+    assert len(out["rows"]) == 2
+
+
+def test_ablation_merging_rows():
+    out = figures.ablation_merging(**TINY)
+    assert [row["merging"] for row in out["rows"]] == ["on", "off"]
+
+
+def test_ablation_granularity_rows():
+    out = figures.ablation_granularity(partitioners=("chunk", "global"), **TINY)
+    assert [row["granularity"] for row in out["rows"]] == ["chunk", "global"]
+
+
+def test_ablation_policy_period_rows():
+    out = figures.ablation_policy_period(periods_ms=(500.0, 2000.0), **TINY)
+    assert [row["period ms"] for row in out["rows"]] == [500.0, 2000.0]

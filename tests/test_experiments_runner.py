@@ -1,0 +1,97 @@
+"""Tests for the experiment runner (small, fast experiment points)."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def small(policy="zero", **overrides) -> ExperimentConfig:
+    defaults = dict(
+        policy=policy,
+        bots=6,
+        duration_ms=4_000.0,
+        warmup_ms=1_000.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def test_runner_produces_traffic_and_tick_stats():
+    result = run_experiment(small())
+    assert result.bytes_total > 0
+    assert result.packets_total > 0
+    assert result.steady_bytes_per_second > 0
+    assert result.tick_duration.count > 0
+    assert result.effective_tick_rate_hz == pytest.approx(20.0, rel=0.15)
+
+
+def test_vanilla_has_no_dyconit_stats():
+    result = run_experiment(small(policy="vanilla"))
+    assert result.dyconit_stats == {}
+
+
+def test_dyconit_run_has_middleware_stats():
+    result = run_experiment(small(policy="fixed"))
+    assert result.dyconit_stats["commits"] > 0
+    assert result.dyconit_stats["merge_ratio"] > 0
+
+
+def test_same_seed_same_result():
+    a = run_experiment(small())
+    b = run_experiment(small())
+    assert a.bytes_total == b.bytes_total
+    assert a.packets_total == b.packets_total
+
+
+def test_different_seeds_differ():
+    a = run_experiment(small())
+    b = run_experiment(small(seed=12))
+    assert a.bytes_total != b.bytes_total
+
+
+def test_vanilla_equals_zero_bounds_bytes():
+    """The headline differential property at experiment level."""
+    vanilla = run_experiment(small(policy="vanilla"))
+    zero = run_experiment(small(policy="zero"))
+    assert vanilla.bytes_total == zero.bytes_total
+    assert vanilla.packets_total == zero.packets_total
+
+
+def test_latency_recording_optional():
+    without = run_experiment(small())
+    assert without.packet_latency.count == 0
+    with_latency = run_experiment(small(synchronous_delivery=False, record_latencies=True))
+    assert with_latency.packet_latency.count > 0
+    assert with_latency.packet_latency.p50 >= 25.0  # link base latency
+
+
+def test_hooks_fire():
+    fired = []
+
+    def hook(server, workload):
+        fired.append(server.player_count)
+        workload.add_bots(2)
+
+    result = run_experiment(small(), hooks=[(2_000.0, hook)])
+    assert fired == [6]
+    assert result.player_timeline[-1][1] == 8
+
+
+def test_bandwidth_timeline_produced():
+    result = run_experiment(small())
+    assert len(result.bandwidth_timeline) >= 2
+    assert all(rate >= 0 for __, rate in result.bandwidth_timeline)
+
+
+def test_merging_disabled_increases_traffic():
+    merged = run_experiment(small(policy="fixed"))
+    unmerged = run_experiment(small(policy="fixed", merging_enabled=False))
+    assert unmerged.packets_total > merged.packets_total
+    assert unmerged.dyconit_stats["merge_ratio"] == 0.0
+
+
+def test_as_row_keys():
+    row = run_experiment(small()).as_row()
+    assert {"policy", "bots", "kB/s", "p95 tick ms"} <= set(row)

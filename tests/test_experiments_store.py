@@ -1,0 +1,52 @@
+"""Round-trip tests for experiment result persistence."""
+
+from repro.core.bounds import Bounds
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.store import load_results, result_from_dict, result_to_dict, save_results
+
+
+def small_result():
+    config = ExperimentConfig(
+        policy="fixed",
+        fixed_bounds=Bounds(5.0, 400.0),
+        bots=4,
+        duration_ms=3_000.0,
+        warmup_ms=1_000.0,
+        seed=13,
+    )
+    return run_experiment(config)
+
+
+def test_dict_roundtrip_preserves_metrics():
+    result = small_result()
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert rebuilt.bytes_total == result.bytes_total
+    assert rebuilt.packets_total == result.packets_total
+    assert rebuilt.tick_duration == result.tick_duration
+    assert rebuilt.dyconit_stats == result.dyconit_stats
+    assert rebuilt.bandwidth_timeline == result.bandwidth_timeline
+
+
+def test_dict_roundtrip_preserves_config():
+    result = small_result()
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert rebuilt.config.policy == "fixed"
+    assert rebuilt.config.fixed_bounds == Bounds(5.0, 400.0)
+    assert rebuilt.config.bots == 4
+    assert rebuilt.config.seed == 13
+
+
+def test_file_roundtrip(tmp_path):
+    result = small_result()
+    path = tmp_path / "results.json"
+    save_results(path, {"e-test": result})
+    loaded = load_results(path)
+    assert set(loaded) == {"e-test"}
+    assert loaded["e-test"].bytes_total == result.bytes_total
+
+
+def test_rebuilt_result_renders_row():
+    result = small_result()
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert rebuilt.as_row()["policy"] == "fixed"

@@ -1,0 +1,109 @@
+"""Failure-injection / churn integration tests.
+
+Players joining and leaving mid-run must never crash the middleware,
+leak subscriptions, or deliver packets to dead sockets.
+"""
+
+import pytest
+
+from repro.bots.bot import BotClient
+from repro.bots.movement import HotspotModel
+from repro.bots.workload import Workload, WorkloadSpec
+from repro.policies.adaptive import AdaptiveBoundsPolicy
+from repro.policies.fixed import FixedBoundsPolicy
+from repro.core.bounds import Bounds
+from repro.server.config import ServerConfig
+from repro.server.engine import GameServer
+from repro.sim.rng import derive_rng
+from repro.sim.simulator import Simulation
+from repro.world.world import World
+
+
+def build(policy):
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        world=World(seed=31),
+        config=ServerConfig(seed=31, synchronous_delivery=True),
+        policy=policy,
+    )
+    server.start()
+    return sim, server
+
+
+def test_random_churn_never_leaks_subscriptions():
+    sim, server = build(FixedBoundsPolicy(Bounds(50.0, 2_000.0)))
+    workload = Workload(sim, server, WorkloadSpec(bots=6, seed=31, arrival_stagger_ms=0.0))
+    workload.start()
+    rng = derive_rng(31, "churn")
+
+    def churn():
+        if rng.random() < 0.5 and workload.connected_count > 2:
+            workload.remove_bots(1)
+        else:
+            workload.add_bots(1, stagger_ms=0.0)
+        sim.schedule(400.0, churn)
+
+    sim.schedule(400.0, churn)
+    sim.run_until(10_000.0)
+
+    # Every remaining registered subscriber corresponds to a live session.
+    live = set(server.sessions)
+    dyconits = server.dyconits
+    assert {s.subscriber_id for s in dyconits.subscribers()} == live
+    for dyconit in dyconits.dyconits():
+        for state in dyconit.subscription_states():
+            assert state.subscriber.subscriber_id in live
+
+
+def test_disconnect_with_pending_updates_drops_them():
+    sim, server = build(FixedBoundsPolicy(Bounds(1e9, 1e9)))  # queue forever
+    a = BotClient(sim, server, "a", seed=31, movement=HotspotModel())
+    b = BotClient(sim, server, "b", seed=31, movement=HotspotModel())
+    a.connect(server.world.surface_position(8.0, 8.0))
+    b.connect(server.world.surface_position(12.0, 12.0))
+    sim.run_until(2_000.0)
+    packets_before = a.packets_received
+    a.disconnect()
+    sim.run_until(4_000.0)
+    # No packet reaches the closed connection, even though updates were
+    # queued for it at disconnect time.
+    assert a.packets_received == packets_before
+    assert server.player_count == 1
+
+
+def test_burst_churn_under_adaptive_policy_stays_consistent():
+    sim, server = build(AdaptiveBoundsPolicy())
+    workload = Workload(sim, server, WorkloadSpec(bots=10, seed=31, arrival_stagger_ms=0.0))
+    workload.start()
+    sim.run_until(3_000.0)
+    workload.add_bots(10, stagger_ms=20.0)
+    sim.run_until(6_000.0)
+    workload.remove_bots(10)
+    sim.run_until(12_000.0)
+
+    # Survivors converge after a forced flush barrier.
+    server.dyconits.flush_all()
+    for bot in workload.bots:
+        if not bot.connected:
+            continue
+        # Replicas only contain live entities the bot can still see.
+        for entity_id in bot.perceived.entity_positions:
+            if entity_id == bot.entity_id:
+                continue
+            assert server.world.get_entity(entity_id) is not None
+
+
+def test_reconnect_gets_fresh_session():
+    sim, server = build(FixedBoundsPolicy())
+    bot = BotClient(sim, server, "phoenix", seed=31)
+    bot.connect(server.world.surface_position(8.0, 8.0))
+    first_client = bot.client_id
+    first_entity = bot.entity_id
+    sim.run_until(1_000.0)
+    bot.disconnect()
+    reborn = BotClient(sim, server, "phoenix", seed=31)
+    reborn.connect(server.world.surface_position(8.0, 8.0))
+    assert reborn.client_id != first_client
+    assert reborn.entity_id != first_entity
+    assert server.player_count == 1

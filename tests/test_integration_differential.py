@@ -1,0 +1,74 @@
+"""Differential integration test: zero-bounds dyconits ≡ vanilla.
+
+The paper's correctness anchor: with every bound at zero, the middleware
+must be *behaviourally invisible* — every client receives exactly the
+same packets, in the same order, as with the direct vanilla broadcast
+path. This is what justifies calling the middleware "thin" and makes all
+relative measurements meaningful.
+"""
+
+from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+from repro.policies.zero import ZeroBoundsPolicy
+from repro.server.config import ServerConfig
+from repro.server.engine import GameServer
+from repro.sim.simulator import Simulation
+from repro.world.world import World
+
+
+def run_capture(direct_mode: bool, duration_ms: float = 8_000.0):
+    """Run a small busy workload; capture per-client packet streams."""
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        world=World(seed=77),
+        config=ServerConfig(seed=77, synchronous_delivery=True, mob_count=3),
+        policy=None if direct_mode else ZeroBoundsPolicy(),
+        direct_mode=direct_mode,
+    )
+    server.start()
+    spec = WorkloadSpec(
+        bots=8,
+        seed=77,
+        movement="hotspot",
+        behavior=BehaviorMix(build=0.1, dig=0.05, chat=0.01),
+        arrival_stagger_ms=40.0,
+    )
+    workload = Workload(sim, server, spec)
+
+    captures: dict[str, list] = {}
+    original_connect = server.connect
+
+    def tapping_connect(name, handler, **kwargs):
+        log = captures.setdefault(name, [])
+
+        def tapped(delivered):
+            log.append(delivered.packet)
+            handler(delivered)
+
+        return original_connect(name, tapped, **kwargs)
+
+    server.connect = tapping_connect
+    workload.start()
+    sim.run_until(duration_ms)
+    return captures, server
+
+
+def test_zero_bounds_is_packet_identical_to_vanilla():
+    vanilla, vanilla_server = run_capture(direct_mode=True)
+    zero, zero_server = run_capture(direct_mode=False)
+
+    assert set(vanilla) == set(zero)
+    for name in vanilla:
+        assert vanilla[name] == zero[name], f"packet stream diverged for {name}"
+
+    assert vanilla_server.transport.total_bytes() == zero_server.transport.total_bytes()
+    assert (
+        vanilla_server.transport.packets_by_kind()
+        == zero_server.transport.packets_by_kind()
+    )
+
+
+def test_zero_bounds_middleware_never_merges():
+    __, server = run_capture(direct_mode=False, duration_ms=4_000.0)
+    assert server.dyconits.stats.updates_merged == 0
+    assert server.dyconits.stats.flushes == server.dyconits.stats.flushes_numerical

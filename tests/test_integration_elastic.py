@@ -1,0 +1,52 @@
+"""End-to-end test of elastic repartitioning under the full server."""
+
+from repro.bots.workload import Workload, WorkloadSpec
+from repro.policies.elastic import ElasticPartitioningPolicy
+from repro.server.config import ServerConfig
+from repro.server.engine import GameServer
+from repro.sim.simulator import Simulation
+from repro.world.world import World
+
+
+def test_elastic_policy_merges_cold_view_periphery():
+    """A stationary-ish fleet makes its view periphery cold; the elastic
+    policy must merge those chunk dyconits into region dyconits, shrink
+    bookkeeping, and keep the game fully functional."""
+    sim = Simulation()
+    policy = ElasticPartitioningPolicy(
+        region_size=4, cold_commits_per_second=0.5, evaluation_period_ms=2_000.0
+    )
+    server = GameServer(
+        sim,
+        world=World(seed=21),
+        config=ServerConfig(seed=21, synchronous_delivery=True),
+        policy=policy,
+    )
+    server.start()
+    workload = Workload(
+        sim, server, WorkloadSpec(bots=8, seed=21, movement="village", spawn_radius=16.0)
+    )
+    workload.start()
+    sim.run_until(12_000.0)
+
+    assert policy.merges > 0, "cold periphery chunks should have merged"
+    assert server.dyconits.alias_count > 0
+    # Bots still receive each other's movement: replicas stay bounded.
+    errors = [e for bot in workload.bots for e in bot.positional_errors()]
+    assert errors, "bots should still perceive each other"
+    assert max(errors) < 20.0
+
+    # The world keeps working after merges: block changes still propagate.
+    from repro.net.protocol import PlayerActionPacket
+    from repro.world.block import BlockType
+    from repro.world.geometry import BlockPos
+
+    actor = workload.bots[0]
+    target = BlockPos(2, 40, 2)
+    server.submit_action(
+        actor.client_id, PlayerActionPacket("place", block_pos=target, block=BlockType.BRICK)
+    )
+    sim.run_until(sim.now + 1_000.0)
+    assert server.world.get_block(target) == BlockType.BRICK
+    other = workload.bots[1]
+    assert other.perceived.blocks.get(target) == BlockType.BRICK

@@ -1,0 +1,79 @@
+"""Partitioning-invariance integration tests.
+
+With zero bounds, the partitioning must be unobservable: whether updates
+route through per-chunk, per-region, or one global dyconit, every commit
+flushes immediately, so all three configurations (and the vanilla direct
+path) must produce identical client traffic.
+"""
+
+import pytest
+
+from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+from repro.core.partition import (
+    ChunkPartitioner,
+    GlobalPartitioner,
+    RegionPartitioner,
+)
+from repro.policies.zero import ZeroBoundsPolicy
+from repro.policies.distance import DistanceBasedPolicy
+from repro.server.config import ServerConfig
+from repro.server.engine import GameServer
+from repro.sim.simulator import Simulation
+from repro.world.world import World
+
+
+def run(partitioner=None, policy=None, direct=False):
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        world=World(seed=99),
+        config=ServerConfig(seed=99, synchronous_delivery=True),
+        policy=policy,
+        partitioner=partitioner,
+        direct_mode=direct,
+    )
+    server.start()
+    workload = Workload(
+        sim,
+        server,
+        WorkloadSpec(
+            bots=6, seed=99, movement="hotspot",
+            behavior=BehaviorMix(build=0.08, dig=0.04),
+            arrival_stagger_ms=30.0,
+        ),
+    )
+    workload.start()
+    sim.run_until(6_000.0)
+    return server
+
+
+@pytest.mark.parametrize(
+    "partitioner",
+    [ChunkPartitioner(), RegionPartitioner(2), RegionPartitioner(4), GlobalPartitioner()],
+    ids=["chunk", "region2", "region4", "global"],
+)
+def test_zero_bounds_identical_under_any_partitioning(partitioner):
+    vanilla = run(direct=True)
+    zero = run(partitioner=partitioner, policy=ZeroBoundsPolicy())
+    assert zero.transport.total_bytes() == vanilla.transport.total_bytes()
+    assert zero.transport.packets_by_kind() == vanilla.transport.packets_by_kind()
+
+
+def test_coarser_partitioning_creates_fewer_dyconits():
+    chunk = run(partitioner=ChunkPartitioner(), policy=DistanceBasedPolicy())
+    region = run(partitioner=RegionPartitioner(4), policy=DistanceBasedPolicy())
+    global_ = run(partitioner=GlobalPartitioner(), policy=DistanceBasedPolicy())
+    assert (
+        chunk.dyconits.stats.dyconits_created
+        > region.dyconits.stats.dyconits_created
+        > global_.dyconits.stats.dyconits_created
+    )
+    assert global_.dyconits.stats.dyconits_created == 1
+
+
+def test_workload_equivalence_across_partitioners():
+    """Bot action streams are identical regardless of partitioning, so
+    middleware commit counts match exactly."""
+    chunk = run(partitioner=ChunkPartitioner(), policy=ZeroBoundsPolicy())
+    global_ = run(partitioner=GlobalPartitioner(), policy=ZeroBoundsPolicy())
+    assert chunk.dyconits.stats.commits == global_.dyconits.stats.commits

@@ -1,0 +1,133 @@
+"""Unit tests for metric primitives."""
+
+import pytest
+
+from repro.metrics.collector import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == 7.0
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        assert len(series) == 2
+
+    def test_rejects_out_of_order(self):
+        series = TimeSeries("s")
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5.0, 2.0)
+
+    def test_window(self):
+        series = TimeSeries("s")
+        for t in range(5):
+            series.record(float(t), float(t * 10))
+        assert series.window(1.0, 4.0) == [10.0, 20.0, 30.0]
+
+    def test_rate_per_second(self):
+        series = TimeSeries("s")
+        series.record(0.0, 0.0)
+        series.record(2000.0, 100.0)  # 100 units over 2 s
+        assert series.rate_per_second() == pytest.approx(50.0)
+
+    def test_rate_with_insufficient_data(self):
+        series = TimeSeries("s")
+        assert series.rate_per_second() == 0.0
+        series.record(0.0, 5.0)
+        assert series.rate_per_second() == 0.0
+
+
+class TestHistogram:
+    def test_mean_and_count(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_quantiles_have_bounded_relative_error(self):
+        hist = Histogram("h", precision=0.02)
+        values = [float(v) for v in range(1, 1001)]
+        for value in values:
+            hist.record(value)
+        for q, expected in ((0.5, 500.0), (0.95, 950.0), (0.99, 990.0)):
+            assert hist.quantile(q) == pytest.approx(expected, rel=0.05)
+
+    def test_zero_bucket(self):
+        hist = Histogram("h", min_value=1.0)
+        for _ in range(99):
+            hist.record(0.0)
+        hist.record(100.0)
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) >= 95.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("h").record(-0.1)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            Histogram("h", min_value=0.0)
+        with pytest.raises(ValueError):
+            Histogram("h", precision=1.5)
+
+    def test_merge(self):
+        a = Histogram("a")
+        b = Histogram("b")
+        for value in (1.0, 2.0):
+            a.record(value)
+        for value in (3.0, 4.0):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean == pytest.approx(2.5)
+        assert a.max_value == 4.0
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = Histogram("a", min_value=0.01)
+        b = Histogram("b", min_value=1.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.series("y") is registry.series("y")
+        assert registry.histogram("z") is registry.histogram("z")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_snapshot_contains_scalars(self):
+        registry = MetricsRegistry()
+        registry.counter("sent").increment(5)
+        registry.gauge("load").set(0.7)
+        snapshot = registry.snapshot()
+        assert snapshot == {"sent": 5.0, "load": 0.7}

@@ -1,0 +1,43 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.metrics.report import render_table
+
+
+def test_renders_headers_and_rows():
+    table = render_table(["name", "value"], [["a", 1], ["b", 2]])
+    lines = table.splitlines()
+    assert "name" in lines[0] and "value" in lines[0]
+    assert set(lines[1]) <= {"-", "+"}
+    assert "a" in lines[2]
+    assert "b" in lines[3]
+
+
+def test_title_is_first_line():
+    table = render_table(["x"], [[1]], title="My Table")
+    assert table.splitlines()[0] == "My Table"
+
+
+def test_number_formatting():
+    table = render_table(["v"], [[1234567.0], [3.14159], [0.001234], [0.0]])
+    assert "1,234,567" in table
+    assert "3.14" in table
+    assert "0.0012" in table
+
+
+def test_columns_are_aligned():
+    table = render_table(["col"], [["short"], ["much longer cell"]])
+    lines = table.splitlines()
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # every line padded to the same width
+
+
+def test_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only one"]])
+
+
+def test_empty_rows_ok():
+    table = render_table(["a"], [])
+    assert "a" in table

@@ -1,0 +1,60 @@
+"""Unit tests for statistical summaries."""
+
+import pytest
+
+from repro.metrics.summary import describe, percentile
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_median_of_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 9.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 9.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_does_not_mutate_input(self):
+        samples = [3.0, 1.0, 2.0]
+        percentile(samples, 50)
+        assert samples == [3.0, 1.0, 2.0]
+
+
+class TestDescribe:
+    def test_empty_is_all_zero(self):
+        summary = describe([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.p99 == 0.0
+
+    def test_basic_statistics(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == 2.5
+
+    def test_percentile_ordering(self):
+        summary = describe(list(range(100)))
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+    def test_as_dict_keys(self):
+        assert set(describe([1.0]).as_dict()) == {
+            "count", "mean", "min", "p50", "p95", "p99", "max",
+        }

@@ -1,0 +1,62 @@
+"""Unit tests for the per-client link model."""
+
+import pytest
+
+from repro.net.link import ClientLink, LinkConfig
+from repro.net.protocol import KeepAlivePacket
+
+
+def make_link(bandwidth_bps=8000.0, latency_ms=10.0) -> ClientLink:
+    return ClientLink(1, LinkConfig(bandwidth_bps=bandwidth_bps, latency_ms=latency_ms))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LinkConfig(bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        LinkConfig(latency_ms=-1)
+    with pytest.raises(ValueError):
+        LinkConfig(jitter_ms=-0.1)
+
+
+def test_delivery_time_includes_latency_and_serialization():
+    link = make_link(bandwidth_bps=8000.0, latency_ms=10.0)  # 1 byte/ms
+    packet = KeepAlivePacket()  # 11 bytes on the wire
+    delivery = link.transmit(packet, now=0.0)
+    assert delivery == pytest.approx(10.0 + packet.wire_size())
+
+
+def test_fifo_queueing_under_backlog():
+    link = make_link(bandwidth_bps=8000.0, latency_ms=0.0)
+    packet = KeepAlivePacket()
+    first = link.transmit(packet, now=0.0)
+    second = link.transmit(packet, now=0.0)
+    assert second == pytest.approx(first + packet.wire_size())
+    assert link.queueing_delay(0.0) == pytest.approx(2 * packet.wire_size())
+
+
+def test_idle_link_has_no_queueing():
+    link = make_link(bandwidth_bps=1e9)
+    assert link.queueing_delay(0.0) == 0.0
+    link.transmit(KeepAlivePacket(), now=0.0)
+    assert link.queueing_delay(100.0) == 0.0
+
+
+def test_stats_accumulate():
+    link = make_link()
+    packet = KeepAlivePacket()
+    link.transmit(packet, now=0.0)
+    link.transmit(packet, now=1.0)
+    assert link.stats.packets == 2
+    assert link.stats.bytes == 2 * packet.wire_size()
+    assert link.stats.packets_by_kind["KeepAlivePacket"] == 2
+    assert link.stats.bytes_by_kind["KeepAlivePacket"] == 2 * packet.wire_size()
+
+
+def test_jitter_adds_bounded_delay():
+    values = iter([3.0, 0.0])
+    link = ClientLink(1, LinkConfig(latency_ms=10.0, jitter_ms=5.0), jitter=lambda: next(values))
+    packet = KeepAlivePacket()
+    with_jitter = link.transmit(packet, now=0.0)
+    base = link.transmit(packet, now=1000.0)
+    assert with_jitter > base - 1000.0  # jittered delivery is later

@@ -1,0 +1,100 @@
+"""Unit tests for the packet catalogue's size model."""
+
+from repro.net.protocol import (
+    BlockChangePacket,
+    ChatMessagePacket,
+    ChunkDataPacket,
+    ChunkUnloadPacket,
+    DestroyEntitiesPacket,
+    EntityPositionPacket,
+    EntityTeleportPacket,
+    JoinGamePacket,
+    KeepAlivePacket,
+    MultiBlockChangePacket,
+    PlayerActionPacket,
+    SpawnEntityPacket,
+)
+from repro.net.serialize import packet_overhead
+from repro.world.block import BlockType
+from repro.world.entity import EntityKind
+from repro.world.geometry import BlockPos, ChunkPos, Vec3
+
+
+def test_wire_size_includes_framing():
+    packet = KeepAlivePacket()
+    assert packet.wire_size() == packet.body_size() + packet_overhead()
+
+
+def test_block_change_size():
+    packet = BlockChangePacket(BlockPos(1, 2, 3), BlockType.STONE)
+    assert packet.body_size() == 9  # 8-byte position + 1-byte VarInt state
+
+
+def test_multi_block_change_cheaper_than_singles():
+    changes = tuple(
+        (BlockPos(x, 10, 0), BlockType.PLANKS) for x in range(10)
+    )
+    multi = MultiBlockChangePacket(ChunkPos(0, 0), changes)
+    singles = sum(
+        BlockChangePacket(pos, block).wire_size() for pos, block in changes
+    )
+    assert multi.wire_size() < singles
+
+
+def test_relative_move_cheaper_than_teleport():
+    relative = EntityPositionPacket(entity_id=5, delta=Vec3(0.5, 0.0, 0.5))
+    teleport = EntityTeleportPacket(entity_id=5, position=Vec3(100.0, 30.0, 100.0))
+    assert relative.wire_size() < teleport.wire_size()
+
+
+def test_relative_move_fits_limit():
+    assert EntityPositionPacket.fits(Vec3(7.9, 0.0, -7.9))
+    assert not EntityPositionPacket.fits(Vec3(8.0, 0.0, 0.0))
+    assert not EntityPositionPacket.fits(Vec3(0.0, -9.0, 0.0))
+
+
+def test_spawn_includes_name():
+    anonymous = SpawnEntityPacket(1, EntityKind.ZOMBIE, Vec3(0, 0, 0))
+    named = SpawnEntityPacket(1, EntityKind.PLAYER, Vec3(0, 0, 0), name="steve")
+    assert named.body_size() == anonymous.body_size() + len("steve")
+
+
+def test_destroy_entities_scales_with_count():
+    one = DestroyEntitiesPacket((1,))
+    many = DestroyEntitiesPacket(tuple(range(1, 21)))
+    assert many.body_size() > one.body_size()
+    # But far cheaper than 20 separate packets.
+    assert many.wire_size() < 20 * one.wire_size()
+
+
+def test_chunk_data_is_by_far_the_biggest():
+    chunk = ChunkDataPacket(ChunkPos(0, 0), total_blocks=16 * 16 * 64, non_air_blocks=7000)
+    move = EntityPositionPacket(1, Vec3(0.1, 0.0, 0.1))
+    assert chunk.wire_size() > 50 * move.wire_size()
+
+
+def test_chunk_unload_is_tiny():
+    assert ChunkUnloadPacket(ChunkPos(0, 0)).body_size() == 8
+
+
+def test_chat_size_tracks_text():
+    short = ChatMessagePacket(1, "hi")
+    long = ChatMessagePacket(1, "x" * 100)
+    assert long.body_size() - short.body_size() == 98
+
+
+def test_join_game_is_login_heavy():
+    assert JoinGamePacket(entity_id=1).body_size() > 1000
+
+
+def test_player_action_sizes():
+    move = PlayerActionPacket("move", position=Vec3(0, 0, 0))
+    place = PlayerActionPacket("place", block_pos=BlockPos(0, 0, 0), block=BlockType.STONE)
+    chat = PlayerActionPacket("chat", extra={"text": "hello"})
+    assert move.body_size() == 27
+    assert place.body_size() == 10
+    assert chat.body_size() == 6
+
+
+def test_packet_kind_is_class_name():
+    assert KeepAlivePacket().kind == "KeepAlivePacket"

@@ -1,0 +1,60 @@
+"""Unit tests for the wire-size model helpers."""
+
+import pytest
+
+from repro.net.serialize import (
+    CHUNK_FIXED_BYTES,
+    compressed_chunk_bytes,
+    packet_overhead,
+    varint_size,
+)
+
+
+class TestVarint:
+    def test_single_byte_values(self):
+        assert varint_size(0) == 1
+        assert varint_size(127) == 1
+
+    def test_two_byte_values(self):
+        assert varint_size(128) == 2
+        assert varint_size(16383) == 2
+
+    def test_larger_values(self):
+        assert varint_size(16384) == 3
+        assert varint_size(2097152) == 4
+        assert varint_size(2**31) == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            varint_size(-1)
+
+    def test_monotone(self):
+        sizes = [varint_size(v) for v in (0, 100, 1000, 100_000, 10_000_000)]
+        assert sizes == sorted(sizes)
+
+
+class TestChunkBytes:
+    def test_empty_chunk_is_nearly_fixed_cost(self):
+        size = compressed_chunk_bytes(16 * 16 * 64, 0)
+        assert CHUNK_FIXED_BYTES <= size <= CHUNK_FIXED_BYTES + 100
+
+    def test_solid_blocks_dominate(self):
+        total = 16 * 16 * 64
+        empty = compressed_chunk_bytes(total, 0)
+        half = compressed_chunk_bytes(total, total // 2)
+        full = compressed_chunk_bytes(total, total)
+        assert empty < half < full
+
+    def test_realistic_chunk_is_kilobyte_scale(self):
+        # A generated chunk is roughly half solid; real servers see
+        # 0.5-2 KiB compressed per chunk at this world height.
+        size = compressed_chunk_bytes(16 * 16 * 64, 7500)
+        assert 500 <= size <= 2500
+
+    def test_rejects_more_solid_than_total(self):
+        with pytest.raises(ValueError):
+            compressed_chunk_bytes(100, 101)
+
+
+def test_packet_overhead_is_small_and_positive():
+    assert 1 <= packet_overhead() <= 10

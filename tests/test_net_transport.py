@@ -1,0 +1,118 @@
+"""Unit tests for the transport."""
+
+import pytest
+
+from repro.net.link import LinkConfig
+from repro.net.protocol import ChatMessagePacket, KeepAlivePacket
+from repro.net.transport import Transport
+from repro.sim.simulator import Simulation
+
+
+@pytest.fixture
+def transport(sim):
+    return Transport(sim, LinkConfig(bandwidth_bps=1e9, latency_ms=20.0))
+
+
+def test_connect_and_send_delivers_later(sim, transport):
+    received = []
+    transport.connect(1, received.append)
+    transport.send(1, KeepAlivePacket())
+    assert received == []  # not yet delivered
+    sim.run()
+    assert len(received) == 1
+    assert received[0].latency_ms == pytest.approx(20.0, abs=1.0)
+
+
+def test_duplicate_connect_rejected(transport):
+    transport.connect(1, lambda d: None)
+    with pytest.raises(ValueError):
+        transport.connect(1, lambda d: None)
+
+
+def test_send_to_unknown_client_is_dropped(sim, transport):
+    transport.send(99, KeepAlivePacket())  # no error
+    sim.run()
+    assert transport.total_packets() == 0
+
+
+def test_disconnect_suppresses_inflight_delivery(sim, transport):
+    received = []
+    transport.connect(1, received.append)
+    transport.send(1, KeepAlivePacket())
+    transport.disconnect(1)
+    sim.run()
+    assert received == []
+
+
+def test_disconnect_preserves_accounting(sim, transport):
+    transport.connect(1, lambda d: None)
+    transport.send(1, KeepAlivePacket())
+    size = KeepAlivePacket().wire_size()
+    transport.disconnect(1)
+    assert transport.total_bytes() == size
+    assert transport.total_packets() == 1
+
+
+def test_per_kind_accounting(sim, transport):
+    transport.connect(1, lambda d: None)
+    transport.send(1, KeepAlivePacket())
+    transport.send(1, ChatMessagePacket(1, "hello"))
+    by_kind = transport.packets_by_kind()
+    assert by_kind == {"KeepAlivePacket": 1, "ChatMessagePacket": 1}
+    assert set(transport.bytes_by_kind()) == set(by_kind)
+
+
+def test_latency_recording(sim, transport):
+    transport.connect(1, lambda d: None)
+    for _ in range(3):
+        transport.send(1, KeepAlivePacket())
+    sim.run()
+    assert len(transport.latencies_ms) == 3
+    assert all(latency >= 20.0 for latency in transport.latencies_ms)
+
+
+def test_latency_recording_can_be_disabled(sim, transport):
+    transport.record_latencies = False
+    transport.connect(1, lambda d: None)
+    transport.send(1, KeepAlivePacket())
+    sim.run()
+    assert transport.latencies_ms == []
+
+
+def test_synchronous_delivery_calls_handler_immediately(sim):
+    transport = Transport(sim, LinkConfig(latency_ms=20.0), synchronous_delivery=True)
+    received = []
+    transport.connect(1, received.append)
+    transport.send(1, KeepAlivePacket())
+    assert len(received) == 1  # before any sim.run()
+    assert received[0].latency_ms >= 20.0  # latency still modelled
+
+
+def test_send_many(sim, transport):
+    received = []
+    transport.connect(1, received.append)
+    transport.send_many(1, [KeepAlivePacket(), KeepAlivePacket()])
+    sim.run()
+    assert len(received) == 2
+
+
+def test_fifo_delivery_order(sim, transport):
+    received = []
+    transport.connect(1, lambda d: received.append(d.packet))
+    a = ChatMessagePacket(1, "first")
+    b = ChatMessagePacket(1, "second")
+    transport.send(1, a)
+    transport.send(1, b)
+    sim.run()
+    assert received == [a, b]
+
+
+def test_client_count(transport):
+    assert transport.client_count == 0
+    transport.connect(1, lambda d: None)
+    transport.connect(2, lambda d: None)
+    assert transport.client_count == 2
+    transport.disconnect(1)
+    assert transport.client_count == 1
+    assert not transport.is_connected(1)
+    assert transport.is_connected(2)

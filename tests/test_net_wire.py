@@ -1,0 +1,186 @@
+"""Tests for the binary wire codec, including the size-model validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import wire
+from repro.net.protocol import (
+    BlockChangePacket,
+    ChatMessagePacket,
+    ChunkDataPacket,
+    ChunkUnloadPacket,
+    DestroyEntitiesPacket,
+    EntityPositionPacket,
+    EntityTeleportPacket,
+    JoinGamePacket,
+    KeepAlivePacket,
+    MultiBlockChangePacket,
+    SpawnEntityPacket,
+)
+from repro.world.block import BlockType
+from repro.world.entity import EntityKind
+from repro.world.geometry import BlockPos, ChunkPos, Vec3
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip(self, value):
+        encoded = wire.write_varint(value)
+        decoded, offset = wire.read_varint(encoded, 0)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            wire.write_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(wire.WireError):
+            wire.read_varint(b"\x80", 0)
+
+
+class TestPackedPosition:
+    @given(
+        st.integers(min_value=-(2**25), max_value=2**25 - 1),
+        st.integers(min_value=-2048, max_value=2047),
+        st.integers(min_value=-(2**25), max_value=2**25 - 1),
+    )
+    def test_roundtrip(self, x, y, z):
+        pos = BlockPos(x, y, z)
+        decoded, offset = wire.unpack_position(wire.pack_position(pos), 0)
+        assert decoded == pos
+        assert offset == 8
+
+
+SAMPLE_PACKETS = [
+    BlockChangePacket(BlockPos(10, 30, -5), BlockType.BRICK),
+    MultiBlockChangePacket(
+        ChunkPos(2, -1),
+        (
+            (BlockPos(33, 10, -16), BlockType.STONE),
+            (BlockPos(40, 12, -9), BlockType.PLANKS),
+        ),
+    ),
+    ChunkUnloadPacket(ChunkPos(-3, 7)),
+    DestroyEntitiesPacket((1, 200, 30000)),
+    EntityPositionPacket(42, Vec3(0.5, -0.25, 1.0), yaw=90.0, pitch=45.0),
+    EntityTeleportPacket(42, Vec3(100.5, 64.0, -200.25), yaw=180.0),
+    SpawnEntityPacket(7, EntityKind.ZOMBIE, Vec3(1.0, 30.0, 2.0), name="bob"),
+    KeepAlivePacket(nonce=123456789),
+    ChatMessagePacket(3, "hello world"),
+    ChunkDataPacket(ChunkPos(0, 0), total_blocks=16384, non_air_blocks=7000),
+    JoinGamePacket(entity_id=99),
+]
+
+
+@pytest.mark.parametrize("packet", SAMPLE_PACKETS, ids=lambda p: p.kind)
+def test_encoded_length_matches_size_model(packet):
+    """The central invariant: real bytes == the accounting model."""
+    assert len(wire.encode(packet)) == packet.wire_size()
+
+
+@pytest.mark.parametrize("packet", SAMPLE_PACKETS, ids=lambda p: p.kind)
+def test_decode_identifies_type_and_consumes_frame(packet):
+    data = wire.encode(packet)
+    decoded, consumed = wire.decode(data)
+    assert type(decoded) is type(packet)
+    assert consumed == len(data)
+
+
+FULL_FIDELITY = [
+    p
+    for p in SAMPLE_PACKETS
+    if isinstance(
+        p,
+        (
+            BlockChangePacket,
+            MultiBlockChangePacket,
+            ChunkUnloadPacket,
+            DestroyEntitiesPacket,
+            EntityTeleportPacket,
+            KeepAlivePacket,
+        ),
+    )
+]
+
+
+@pytest.mark.parametrize("packet", FULL_FIDELITY, ids=lambda p: p.kind)
+def test_fixed_layout_packets_roundtrip_exactly(packet):
+    decoded, __ = wire.decode(wire.encode(packet))
+    assert decoded == packet
+
+
+def test_relative_move_roundtrips_to_fixed_point_precision():
+    packet = EntityPositionPacket(9, Vec3(1.2345, -0.5, 3.75))
+    decoded, __ = wire.decode(wire.encode(packet))
+    assert decoded.entity_id == 9
+    assert decoded.delta.x == pytest.approx(1.2345, abs=1 / 4096)
+    assert decoded.delta.z == pytest.approx(3.75, abs=1 / 4096)
+
+
+def test_spawn_roundtrips_identity_and_name():
+    packet = SpawnEntityPacket(7, EntityKind.COW, Vec3(5.0, 30.0, 6.0), name="daisy")
+    decoded, __ = wire.decode(wire.encode(packet))
+    assert decoded.entity_id == 7
+    assert decoded.entity_kind == EntityKind.COW
+    assert decoded.position == Vec3(5.0, 30.0, 6.0)
+    assert decoded.name == "daisy"
+
+
+def test_chat_roundtrips_text():
+    decoded, __ = wire.decode(wire.encode(ChatMessagePacket(3, "hi there")))
+    assert decoded.text == "hi there"
+
+
+def test_stream_of_packets_decodes_sequentially():
+    stream = b"".join(wire.encode(p) for p in SAMPLE_PACKETS)
+    offset = 0
+    decoded = []
+    while offset < len(stream):
+        packet, consumed = wire.decode(stream[offset:])
+        decoded.append(packet)
+        offset += consumed
+    assert [type(p) for p in decoded] == [type(p) for p in SAMPLE_PACKETS]
+
+
+def test_unknown_packet_id_rejected():
+    bad = wire.write_varint(1) + b"\x00" + bytes([0xEE])
+    # Construct a minimal frame with an unregistered id.
+    frame = bytes([0x01, 0x00, 0xEE])
+    with pytest.raises(wire.WireError):
+        wire.decode(frame)
+    del bad
+
+
+def test_truncated_frame_rejected():
+    data = wire.encode(KeepAlivePacket(1))
+    with pytest.raises(wire.WireError):
+        wire.decode(data[:-2])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=0, max_value=15),
+            st.sampled_from(list(BlockType)),
+        ),
+        min_size=1,
+        max_size=30,
+        unique_by=lambda r: (r[0], r[1], r[2]),
+    )
+)
+def test_multi_block_change_roundtrip_property(records):
+    chunk = ChunkPos(1, 1)
+    origin = chunk.block_origin()
+    changes = tuple(
+        (BlockPos(origin.x + lx, y, origin.z + lz), block)
+        for lx, y, lz, block in records
+    )
+    packet = MultiBlockChangePacket(chunk, changes)
+    encoded = wire.encode(packet)
+    assert len(encoded) == packet.wire_size()
+    decoded, __ = wire.decode(encoded)
+    assert decoded == packet

@@ -1,0 +1,66 @@
+"""Unit tests for the AOI cutoff policy."""
+
+import pytest
+
+from repro.core.manager import DyconitSystem
+from repro.core.partition import GLOBAL_DYCONIT, ChunkPartitioner
+from repro.policies.aoi import InterestCutoffPolicy
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
+
+from tests.conftest import RecordingSubscriber
+
+
+def build(radius=2.0, position=Vec3(8.0, 30.0, 8.0)):
+    policy = InterestCutoffPolicy(aoi_radius_chunks=radius)
+    system = DyconitSystem(policy, ChunkPartitioner(), time_source=lambda: 0.0)
+    rec = RecordingSubscriber(position=position)
+    return system, rec, policy
+
+
+def test_inside_aoi_is_zero_bounds():
+    system, rec, __ = build()
+    state = system.subscribe(("chunk", 1, 0), rec.subscriber)
+    assert state.bounds.is_zero
+
+
+def test_outside_aoi_is_infinite():
+    system, rec, __ = build()
+    state = system.subscribe(("chunk", 5, 0), rec.subscriber)
+    assert state.bounds.is_infinite
+
+
+def test_chat_always_delivered():
+    system, rec, __ = build()
+    state = system.subscribe(GLOBAL_DYCONIT, rec.subscriber)
+    assert state.bounds.is_zero
+
+
+def test_updates_outside_aoi_are_suppressed():
+    system, rec, __ = build()
+    system.subscribe(("chunk", 5, 0), rec.subscriber)
+    system.commit(
+        EntityMoveEvent(0.0, 9, Vec3(5 * 16, 30, 0), Vec3(5 * 16 + 1, 30, 0))
+    )
+    assert rec.delivered_updates == []
+
+
+def test_approach_flushes_backlog():
+    """Walking toward a suppressed area catches the player up."""
+    system, rec, policy = build()
+    system.subscribe(("chunk", 5, 0), rec.subscriber)
+    system.commit(
+        EntityMoveEvent(0.0, 9, Vec3(5 * 16, 30, 0), Vec3(5 * 16 + 1, 30, 0))
+    )
+    rec.subscriber.position_provider = lambda: Vec3(5 * 16 + 8.0, 30.0, 8.0)
+    policy.on_subscriber_moved(system, rec.subscriber)
+    assert len(rec.delivered_updates) == 1
+
+
+def test_rejects_negative_radius():
+    with pytest.raises(ValueError):
+        InterestCutoffPolicy(aoi_radius_chunks=-1.0)
+
+
+def test_repr_mentions_radius():
+    assert "2.0" in repr(InterestCutoffPolicy(2.0))

@@ -1,0 +1,113 @@
+"""Unit tests for the distance-based policy."""
+
+import pytest
+
+from repro.core.bounds import Bounds
+from repro.core.manager import DyconitSystem
+from repro.core.partition import GLOBAL_DYCONIT, ChunkPartitioner
+from repro.policies.distance import DistanceBasedPolicy
+from repro.world.geometry import Vec3
+
+from tests.conftest import RecordingSubscriber
+
+
+def build(policy=None, position=Vec3(8.0, 30.0, 8.0)):
+    policy = policy if policy is not None else DistanceBasedPolicy()
+    system = DyconitSystem(policy, ChunkPartitioner(), time_source=lambda: 0.0)
+    rec = RecordingSubscriber(position=position)
+    return system, rec, policy
+
+
+def test_own_chunk_gets_near_zero_bounds():
+    system, rec, policy = build()  # avatar stands in chunk (0, 0)
+    state = system.subscribe(("chunk", 0, 0), rec.subscriber)
+    # The distance floor leaves a tiny bound nearby (staleness under one
+    # tick, numerical sized to the rate budget for that window) so an
+    # adaptive scale factor has something to loosen under overload.
+    floor = policy.bounds_at_distance(policy.min_chunk_distance)
+    assert state.bounds == floor
+    assert state.bounds.staleness_ms <= 50.0
+    assert state.bounds.numerical <= policy.numerical_weight_rate * 0.05
+
+
+def test_bounds_grow_with_distance():
+    system, rec, __ = build()
+    near = system.subscribe(("chunk", 1, 0), rec.subscriber).bounds
+    far = system.subscribe(("chunk", 4, 0), rec.subscriber).bounds
+    assert near.numerical < far.numerical
+    assert near.staleness_ms < far.staleness_ms
+
+
+def test_bound_surface_shape():
+    policy = DistanceBasedPolicy(
+        numerical_per_chunk=2.0,
+        numerical_exponent=2.0,
+        staleness_per_chunk_ms=100.0,
+        numerical_weight_rate=250.0,
+    )
+    bounds = policy.bounds_at_distance(3.0)
+    # Numerical is the max of the distance surface (2 * 3^2 = 18) and the
+    # rate budget (250/s * 0.3 s = 75): the rate budget wins here.
+    assert bounds.numerical == pytest.approx(75.0)
+    assert bounds.staleness_ms == pytest.approx(300.0)
+
+
+def test_bound_surface_distance_term_can_dominate():
+    policy = DistanceBasedPolicy(
+        numerical_per_chunk=2.0,
+        numerical_exponent=2.0,
+        staleness_per_chunk_ms=100.0,
+        numerical_weight_rate=0.0,  # disable the rate budget
+    )
+    assert policy.bounds_at_distance(3.0).numerical == pytest.approx(18.0)
+
+
+def test_numerical_bound_still_catches_bursts():
+    """A mass block edit (weight >> rate budget) must flush immediately
+    rather than wait out the staleness deadline."""
+    policy = DistanceBasedPolicy()
+    bounds = policy.bounds_at_distance(2.0)
+    burst_weight = 500.0  # an explosion editing 500 blocks
+    assert bounds.exceeded_by(burst_weight, oldest_age_ms=0.0)
+
+
+def test_zero_distance_is_zero_bounds():
+    assert DistanceBasedPolicy().bounds_at_distance(0.0).is_zero
+    assert DistanceBasedPolicy().bounds_at_distance(-1.0).is_zero
+
+
+def test_global_dyconit_gets_chat_bounds():
+    policy = DistanceBasedPolicy(global_bounds=Bounds(5.0, 250.0))
+    system, rec, __ = build(policy)
+    state = system.subscribe(GLOBAL_DYCONIT, rec.subscriber)
+    assert state.bounds == Bounds(5.0, 250.0)
+
+
+def test_subscriber_without_position_gets_global_bounds():
+    policy = DistanceBasedPolicy()
+    system = DyconitSystem(policy, ChunkPartitioner(), time_source=lambda: 0.0)
+    rec = RecordingSubscriber()  # no position provider
+    state = system.subscribe(("chunk", 3, 3), rec.subscriber)
+    assert state.bounds == policy.global_bounds
+
+
+def test_on_subscriber_moved_rederives_bounds():
+    system, rec, policy = build()
+    state = system.subscribe(("chunk", 4, 0), rec.subscriber)
+    far_bounds = state.bounds
+    # Teleport the avatar next to the dyconit and notify the policy.
+    rec.subscriber.position_provider = lambda: Vec3(4 * 16 + 8.0, 30.0, 8.0)
+    policy.on_subscriber_moved(system, rec.subscriber)
+    assert state.bounds.numerical < far_bounds.numerical
+    assert state.bounds == policy.bounds_at_distance(policy.min_chunk_distance)
+
+
+def test_rejects_negative_coefficients():
+    with pytest.raises(ValueError):
+        DistanceBasedPolicy(numerical_per_chunk=-1.0)
+    with pytest.raises(ValueError):
+        DistanceBasedPolicy(staleness_per_chunk_ms=-1.0)
+
+
+def test_repr_mentions_surface():
+    assert "d^2" in repr(DistanceBasedPolicy(numerical_exponent=2.0))

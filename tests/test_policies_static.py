@@ -1,0 +1,91 @@
+"""Unit tests for the static policies (zero, infinite, fixed)."""
+
+from repro.core.bounds import Bounds
+from repro.core.manager import DyconitSystem
+from repro.policies.fixed import DEFAULT_FIXED_BOUNDS, FixedBoundsPolicy
+from repro.policies.infinite import InfiniteBoundsPolicy
+from repro.policies.zero import ZeroBoundsPolicy
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
+
+from tests.conftest import RecordingSubscriber
+
+
+def move(entity_id=1, time=0.0):
+    return EntityMoveEvent(time, entity_id, Vec3(0, 0, 0), Vec3(1, 0, 0))
+
+
+def build_system(policy):
+    return DyconitSystem(policy, time_source=lambda: 0.0)
+
+
+class TestZeroBounds:
+    def test_initial_bounds_are_zero(self):
+        system = build_system(ZeroBoundsPolicy())
+        rec = RecordingSubscriber()
+        state = system.subscribe("unit", rec.subscriber)
+        assert state.bounds.is_zero
+
+    def test_every_commit_delivers_immediately(self):
+        system = build_system(ZeroBoundsPolicy())
+        rec = RecordingSubscriber()
+        system.subscribe(("chunk", 0, 0), rec.subscriber)
+        for index in range(5):
+            system.commit(move(entity_id=index + 1))
+        assert len(rec.delivered_updates) == 5
+        assert system.stats.updates_merged == 0
+
+
+class TestInfiniteBounds:
+    def test_initial_bounds_are_infinite(self):
+        system = build_system(InfiniteBoundsPolicy())
+        rec = RecordingSubscriber()
+        state = system.subscribe("unit", rec.subscriber)
+        assert state.bounds.is_infinite
+
+    def test_nothing_is_ever_delivered(self):
+        system = build_system(InfiniteBoundsPolicy())
+        rec = RecordingSubscriber()
+        system.subscribe(("chunk", 0, 0), rec.subscriber)
+        for index in range(100):
+            system.commit(move(entity_id=index % 3 + 1, time=float(index)))
+        system.tick()
+        assert rec.delivered_updates == []
+
+    def test_merging_still_caps_queue_size(self):
+        system = build_system(InfiniteBoundsPolicy())
+        rec = RecordingSubscriber()
+        system.subscribe(("chunk", 0, 0), rec.subscriber)
+        for index in range(100):
+            system.commit(move(entity_id=1, time=float(index)))
+        state = system.get(("chunk", 0, 0)).get_state(rec.subscriber.subscriber_id)
+        assert len(state.pending) == 1
+        assert system.stats.updates_merged == 99
+
+    def test_forced_flush_still_works(self):
+        system = build_system(InfiniteBoundsPolicy())
+        rec = RecordingSubscriber()
+        system.subscribe(("chunk", 0, 0), rec.subscriber)
+        system.commit(move())
+        system.flush_subscriber(rec.subscriber.subscriber_id)
+        assert len(rec.delivered_updates) == 1
+
+
+class TestFixedBounds:
+    def test_default_bounds(self):
+        policy = FixedBoundsPolicy()
+        system = build_system(policy)
+        rec = RecordingSubscriber()
+        state = system.subscribe("unit", rec.subscriber)
+        assert state.bounds == DEFAULT_FIXED_BOUNDS
+
+    def test_custom_bounds_apply_uniformly(self):
+        bounds = Bounds(3.0, 333.0)
+        system = build_system(FixedBoundsPolicy(bounds))
+        rec = RecordingSubscriber()
+        for dyconit_id in ("a", "b", ("chunk", 5, 5)):
+            state = system.subscribe(dyconit_id, rec.subscriber)
+            assert state.bounds == bounds
+
+    def test_repr_shows_bounds(self):
+        assert "3.0" in repr(FixedBoundsPolicy(Bounds(3.0, 1.0)))

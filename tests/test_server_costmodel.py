@@ -1,0 +1,63 @@
+"""Unit tests for the tick cost model."""
+
+import pytest
+
+from repro.server.costmodel import CostCoefficients, TickCostModel, TickWorkload
+
+
+def test_empty_tick_costs_base():
+    model = TickCostModel(CostCoefficients(base_ms=1.5))
+    assert model.tick_duration_ms(TickWorkload()) == 1.5
+
+
+def test_cost_is_linear_in_each_term():
+    coefficients = CostCoefficients(
+        base_ms=0.0,
+        per_player_ms=1.0,
+        per_action_ms=0.0,
+        per_commit_ms=0.0,
+        per_enqueue_ms=0.0,
+        per_flush_ms=0.0,
+        per_message_ms=0.0,
+        per_kilobyte_ms=0.0,
+    )
+    model = TickCostModel(coefficients)
+    assert model.tick_duration_ms(TickWorkload(players=7)) == 7.0
+    assert model.tick_duration_ms(TickWorkload(players=14)) == 14.0
+
+
+def test_messages_dominate_default_costs():
+    """With default coefficients, per-message work is the dominant cost at
+    scale — the saturation mechanism the capacity experiment relies on."""
+    model = TickCostModel()
+    quiet = model.tick_duration_ms(TickWorkload(players=200))
+    chatty = model.tick_duration_ms(
+        TickWorkload(players=200, messages=20_000, bytes_sent=500_000)
+    )
+    assert chatty > 3 * quiet
+
+
+def test_bytes_term_uses_kilobytes():
+    coefficients = CostCoefficients(
+        base_ms=0.0, per_player_ms=0.0, per_action_ms=0.0, per_commit_ms=0.0,
+        per_enqueue_ms=0.0, per_flush_ms=0.0, per_message_ms=0.0,
+        per_kilobyte_ms=2.0,
+    )
+    model = TickCostModel(coefficients)
+    assert model.tick_duration_ms(TickWorkload(bytes_sent=2048)) == pytest.approx(4.0)
+
+
+def test_rejects_negative_coefficients():
+    with pytest.raises(ValueError):
+        CostCoefficients(per_message_ms=-0.1)
+
+
+def test_default_model_keeps_small_server_under_budget():
+    """A lightly loaded server must not saturate: 20 players exchanging a
+    few hundred messages stays well under the 50 ms budget."""
+    model = TickCostModel()
+    duration = model.tick_duration_ms(
+        TickWorkload(players=20, actions=40, commits=40, enqueues=1000,
+                     flushes=200, messages=800, bytes_sent=30_000)
+    )
+    assert duration < 15.0

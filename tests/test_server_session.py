@@ -1,0 +1,30 @@
+"""Unit tests for player session state."""
+
+from repro.server.session import PlayerSession
+from repro.world.geometry import ChunkPos, Vec3
+
+
+def make_session() -> PlayerSession:
+    return PlayerSession(client_id=1, entity_id=10, name="alice", view_distance=5)
+
+
+def test_sees_chunk():
+    session = make_session()
+    session.view_chunks = {ChunkPos(0, 0), ChunkPos(1, 0)}
+    assert session.sees_chunk(ChunkPos(0, 0))
+    assert not session.sees_chunk(ChunkPos(2, 2))
+
+
+def test_forget_entity():
+    session = make_session()
+    session.known_entities[7] = Vec3(0, 0, 0)
+    assert session.forget_entity(7)
+    assert not session.forget_entity(7)
+    assert session.known_entities == {}
+
+
+def test_defaults():
+    session = make_session()
+    assert session.anchor_chunk is None
+    assert session.packets_sent == 0
+    assert session.actions_received == 0

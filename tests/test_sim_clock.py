@@ -1,0 +1,37 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(125.5).now == 125.5
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advances_forward():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+    clock.advance_to(10.0)  # no-op advance to same instant is allowed
+    assert clock.now == 10.0
+
+
+def test_rejects_backwards_movement():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(4.999)
+
+
+def test_repr_mentions_time():
+    assert "7.000" in repr(SimClock(7.0))

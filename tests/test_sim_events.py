@@ -1,0 +1,65 @@
+"""Unit tests for the deterministic event queue."""
+
+from repro.sim.events import EventQueue
+
+
+def test_empty_queue():
+    queue = EventQueue()
+    assert len(queue) == 0
+    assert queue.peek_time() is None
+    assert queue.pop() is None
+
+
+def test_orders_by_time():
+    queue = EventQueue()
+    order = []
+    queue.push(20.0, lambda: order.append("b"))
+    queue.push(10.0, lambda: order.append("a"))
+    queue.push(30.0, lambda: order.append("c"))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    queue = EventQueue()
+    order = []
+    for label in ("first", "second", "third"):
+        queue.push(5.0, lambda label=label: order.append(label))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == ["first", "second", "third"]
+
+
+def test_peek_returns_next_live_time():
+    queue = EventQueue()
+    queue.push(15.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    assert queue.peek_time() == 5.0
+
+
+def test_cancellation_skips_event():
+    queue = EventQueue()
+    fired = []
+    handle = queue.push(1.0, lambda: fired.append("cancelled"))
+    queue.push(2.0, lambda: fired.append("kept"))
+    handle.cancel()
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert fired == ["kept"]
+
+
+def test_cancelled_events_do_not_count_in_len():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    handle.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_skips_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(1.0, lambda: None)
+    queue.push(9.0, lambda: None)
+    head.cancel()
+    assert queue.peek_time() == 9.0

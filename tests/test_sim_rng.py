@@ -1,0 +1,39 @@
+"""Unit tests for seeded RNG derivation."""
+
+from repro.sim.rng import derive_rng, derive_seed
+
+
+def test_same_path_same_seed():
+    assert derive_seed(42, "bot", 7) == derive_seed(42, "bot", 7)
+
+
+def test_different_paths_differ():
+    assert derive_seed(42, "bot", 7) != derive_seed(42, "bot", 8)
+    assert derive_seed(42, "bot") != derive_seed(42, "terrain")
+
+
+def test_different_master_seeds_differ():
+    assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+def test_derived_rngs_are_reproducible():
+    a = derive_rng(99, "movement", 3)
+    b = derive_rng(99, "movement", 3)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_derived_rngs_are_independent():
+    a = derive_rng(99, "a")
+    b = derive_rng(99, "b")
+    # Drawing from one must not affect the other.
+    before = b.random()
+    a2 = derive_rng(99, "a")
+    b2 = derive_rng(99, "b")
+    for _ in range(100):
+        a2.random()
+    assert b2.random() == before
+
+
+def test_seed_is_64_bit():
+    seed = derive_seed(0, "anything")
+    assert 0 <= seed < 2**64

@@ -1,0 +1,95 @@
+"""Unit tests for the simulation driver."""
+
+import pytest
+
+from repro.sim.simulator import Simulation
+
+
+def test_schedule_relative_and_run():
+    sim = Simulation()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(sim.now))
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0, 10.0]
+
+
+def test_schedule_absolute():
+    sim = Simulation()
+    fired = []
+    sim.schedule_at(42.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [42.0]
+
+
+def test_rejects_scheduling_in_the_past():
+    sim = Simulation()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulation()
+    fired = []
+    for t in (10.0, 20.0, 30.0):
+        sim.schedule_at(t, lambda t=t: fired.append(t))
+    sim.run_until(20.0)
+    assert fired == [10.0, 20.0]  # events exactly at the boundary run
+    assert sim.now == 20.0
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulation()
+    sim.run_until(500.0)
+    assert sim.now == 500.0
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulation()
+    fired = []
+
+    def chain(depth: int) -> None:
+        fired.append(sim.now)
+        if depth > 0:
+            sim.schedule(10.0, lambda: chain(depth - 1))
+
+    sim.schedule(0.0, lambda: chain(3))
+    sim.run()
+    assert fired == [0.0, 10.0, 20.0, 30.0]
+
+
+def test_stop_halts_the_loop():
+    sim = Simulation()
+    fired = []
+
+    def first() -> None:
+        fired.append("a")
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_run_until_leaves_future_events_intact():
+    sim = Simulation()
+    fired = []
+    sim.schedule_at(100.0, lambda: fired.append("later"))
+    sim.run_until(50.0)
+    assert fired == []
+    sim.run_until(150.0)
+    assert fired == ["later"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulation()
+    fired = []
+    handle = sim.schedule(5.0, lambda: fired.append("no"))
+    handle.cancel()
+    sim.run()
+    assert fired == []

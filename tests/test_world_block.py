@@ -1,0 +1,37 @@
+"""Unit tests for the block palette."""
+
+from repro.world.block import BUILDING_BLOCKS, BlockType
+
+
+def test_air_is_zero():
+    """Zero-filled chunk storage must mean 'empty'."""
+    assert BlockType.AIR == 0
+
+
+def test_ids_are_stable_and_unique():
+    values = [int(block) for block in BlockType]
+    assert len(values) == len(set(values))
+    # Wire ids are part of the size model; spot-check stability.
+    assert int(BlockType.STONE) == 1
+    assert int(BlockType.BEDROCK) == 13
+
+
+def test_solidity():
+    assert BlockType.STONE.is_solid
+    assert BlockType.PLANKS.is_solid
+    assert not BlockType.AIR.is_solid
+    assert not BlockType.WATER.is_solid
+    assert not BlockType.TORCH.is_solid
+
+
+def test_breakability():
+    assert BlockType.STONE.is_breakable
+    assert not BlockType.AIR.is_breakable
+    assert not BlockType.BEDROCK.is_breakable
+
+
+def test_building_blocks_are_placeable():
+    assert BUILDING_BLOCKS
+    for block in BUILDING_BLOCKS:
+        assert block != BlockType.AIR
+        assert block.is_breakable  # players can undo their builds

@@ -1,0 +1,90 @@
+"""Unit tests for world events (merge keys, weights, spatial routing)."""
+
+from repro.world.block import BlockType
+from repro.world.entity import EntityKind
+from repro.world.events import (
+    BlockChangeEvent,
+    ChatEvent,
+    EntityDespawnEvent,
+    EntityMoveEvent,
+    EntitySpawnEvent,
+)
+from repro.world.geometry import BlockPos, ChunkPos, Vec3
+
+
+def make_move(entity_id=1, old=(0, 30, 0), new=(1, 30, 0), time=0.0):
+    return EntityMoveEvent(
+        time=time,
+        entity_id=entity_id,
+        old_position=Vec3(*old),
+        new_position=Vec3(*new),
+    )
+
+
+class TestBlockChangeEvent:
+    def test_merge_key_is_per_block(self):
+        a = BlockChangeEvent(0.0, BlockPos(1, 2, 3), BlockType.AIR, BlockType.STONE)
+        b = BlockChangeEvent(5.0, BlockPos(1, 2, 3), BlockType.STONE, BlockType.DIRT)
+        c = BlockChangeEvent(5.0, BlockPos(1, 2, 4), BlockType.AIR, BlockType.STONE)
+        assert a.merge_key == b.merge_key
+        assert a.merge_key != c.merge_key
+
+    def test_weight_is_one_per_block(self):
+        event = BlockChangeEvent(0.0, BlockPos(0, 0, 0), BlockType.AIR, BlockType.STONE)
+        assert event.weight == 1.0
+
+    def test_chunk_routing(self):
+        event = BlockChangeEvent(0.0, BlockPos(17, 5, -1), BlockType.AIR, BlockType.STONE)
+        assert event.chunk_pos == ChunkPos(1, -1)
+
+
+class TestEntityMoveEvent:
+    def test_merge_key_is_per_entity(self):
+        assert make_move(1).merge_key == make_move(1, new=(9, 30, 9)).merge_key
+        assert make_move(1).merge_key != make_move(2).merge_key
+
+    def test_weight_is_distance_moved(self):
+        event = make_move(old=(0, 0, 0), new=(3, 0, 4))
+        assert event.weight == 5.0
+
+    def test_routes_to_destination_chunk(self):
+        event = make_move(old=(0, 0, 0), new=(20, 0, 0))
+        assert event.chunk_pos == ChunkPos(1, 0)
+
+
+class TestSpawnDespawn:
+    def test_despawn_supersedes_spawn(self):
+        spawn = EntitySpawnEvent(0.0, 7, EntityKind.PLAYER, Vec3(0, 0, 0))
+        despawn = EntityDespawnEvent(1.0, 7, Vec3(0, 0, 0))
+        assert spawn.merge_key == despawn.merge_key
+
+    def test_spawn_weight_forces_prompt_delivery(self):
+        spawn = EntitySpawnEvent(0.0, 7, EntityKind.PLAYER, Vec3(0, 0, 0))
+        # Heavier than any plausible numerical bound on a view-area dyconit.
+        assert spawn.weight >= 100.0
+
+    def test_spawn_does_not_merge_with_moves(self):
+        spawn = EntitySpawnEvent(0.0, 7, EntityKind.PLAYER, Vec3(0, 0, 0))
+        assert spawn.merge_key != make_move(7).merge_key
+
+
+class TestChatEvent:
+    def test_chat_events_never_merge(self):
+        a = ChatEvent(0.0, 1, "hello")
+        b = ChatEvent(0.0, 1, "world")
+        c = ChatEvent(1.0, 1, "hello")
+        assert a.merge_key != b.merge_key
+        assert a.merge_key != c.merge_key
+
+    def test_chat_is_global(self):
+        assert ChatEvent(0.0, 1, "hi").chunk_pos is None
+
+
+def test_events_are_immutable():
+    event = make_move()
+    try:
+        event.entity_id = 99
+        mutated = True
+    except AttributeError:
+        mutated = False
+    assert not mutated
