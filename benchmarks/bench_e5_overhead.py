@@ -7,7 +7,6 @@ measure *wall-clock* performance of the implementation itself (everything
 else measures simulated quantities).
 """
 
-import math
 import sys
 
 import pytest
@@ -28,8 +27,10 @@ class StaticPolicy(Policy):
         return self.bounds
 
 
-def build_system(subscribers: int, bounds: Bounds) -> DyconitSystem:
-    system = DyconitSystem(StaticPolicy(bounds), time_source=lambda: 0.0)
+def build_system(subscribers: int, bounds: Bounds, telemetry=None) -> DyconitSystem:
+    system = DyconitSystem(
+        StaticPolicy(bounds), time_source=lambda: 0.0, telemetry=telemetry
+    )
     for subscriber_id in range(subscribers):
         subscriber = Subscriber(subscriber_id=subscriber_id, deliver=lambda d, u: None)
         system.subscribe(("chunk", 0, 0), subscriber)
@@ -108,9 +109,52 @@ def test_e5_staleness_tick_scales_with_due_flushes_only(benchmark):
     assert benchmark.stats.stats.mean < 0.001  # < 1 ms with 5k subscriptions
 
 
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_telemetry_overhead_disabled(benchmark):
+    """Commit throughput with the (default) disabled telemetry hub.
+
+    The instrumented commit path must cost one attribute check when
+    telemetry is off — this row guards the < 3% regression budget
+    against the uninstrumented seed.
+    """
+    system = build_system(subscribers=50, bounds=Bounds.INFINITE)
+    moves = make_moves(1000)
+
+    def commit_batch():
+        for move in moves:
+            system.commit_to(("chunk", 0, 0), move)
+
+    benchmark(commit_batch)
+    per_enqueue_us = benchmark.stats.stats.mean * 1e6 / (1000 * 50)
+    print(f"\ntelemetry off: {per_enqueue_us:.3f} us per (update, subscriber)")
+
+
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_telemetry_overhead_enabled(benchmark):
+    """Commit throughput with a live hub: counters on every commit/enqueue.
+
+    Prints the enabled-vs-nothing cost so the perf trajectory records
+    what switching observability on costs on the hottest path.
+    """
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(enabled=True)
+    system = build_system(subscribers=50, bounds=Bounds.INFINITE, telemetry=telemetry)
+    moves = make_moves(1000)
+
+    def commit_batch():
+        for move in moves:
+            system.commit_to(("chunk", 0, 0), move)
+
+    benchmark(commit_batch)
+    per_enqueue_us = benchmark.stats.stats.mean * 1e6 / (1000 * 50)
+    print(f"\ntelemetry on: {per_enqueue_us:.3f} us per (update, subscriber)")
+    assert telemetry.counter("dyconit_commits_total").value > 0
+
+
 def test_e5_memory_per_dyconit():
     """Rough memory footprint of an idle dyconit + subscription state."""
-    from repro.core.dyconit import Dyconit, SubscriptionState
+    from repro.core.dyconit import Dyconit
 
     dyconit = Dyconit(("chunk", 0, 0))
     subscriber = Subscriber(subscriber_id=1, deliver=lambda d, u: None)

@@ -29,6 +29,7 @@ from repro.core.policy import LoadSignals, Policy
 from repro.core.stats import DyconitStats
 from repro.core.subscription import Subscriber
 from repro.core.update import Update
+from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
 
 
 class DyconitSystem:
@@ -40,6 +41,7 @@ class DyconitSystem:
         partitioner: DyconitPartitioner | None = None,
         time_source: Callable[[], float] | None = None,
         merging_enabled: bool = True,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.policy = policy
         self.partitioner = partitioner if partitioner is not None else ChunkPartitioner()
@@ -61,6 +63,22 @@ class DyconitSystem:
         self.stats = DyconitStats()
         #: Optional DyconitTracer recording middleware decisions.
         self.tracer = None
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Metric handles are resolved once here so the commit/flush hot
+        # paths never pay a registry lookup; a disabled hub keeps them
+        # None and the paths pay a single attribute check instead.
+        if self.telemetry.enabled:
+            self._tm_commits = self.telemetry.counter("dyconit_commits_total")
+            self._tm_enqueued = self.telemetry.counter("dyconit_updates_enqueued_total")
+            self._tm_delivered = self.telemetry.counter("dyconit_updates_delivered_total")
+            self._tm_batch_size = self.telemetry.histogram(
+                "dyconit_flush_batch_size", min_value=1.0
+            )
+        else:
+            self._tm_commits = None
+            self._tm_enqueued = None
+            self._tm_delivered = None
+            self._tm_batch_size = None
         policy.on_attach(self)
 
     # ------------------------------------------------------------------
@@ -137,6 +155,8 @@ class DyconitSystem:
             if source_id == target_id:
                 continue
             self._aliases[source_id] = target_id
+            if self.telemetry.enabled:
+                self.telemetry.counter("dyconit_merges_total").increment()
             if self.tracer is not None:
                 self.tracer.record(
                     self.now, "merge", source_id, detail=f"into {target_id!r}"
@@ -185,6 +205,8 @@ class DyconitSystem:
         ]
         for source_id in sources:
             del self._aliases[source_id]
+            if self.telemetry.enabled:
+                self.telemetry.counter("dyconit_splits_total").increment()
             if self.tracer is not None:
                 self.tracer.record(
                     self.now, "split", source_id, detail=f"out of {target_id!r}"
@@ -335,10 +357,14 @@ class DyconitSystem:
         dyconit_id = self.resolve(dyconit_id)
         dyconit = self.get_or_create(dyconit_id)
         self.stats.commits += 1
+        if self._tm_commits is not None:
+            self._tm_commits.increment()
         touched = dyconit.commit(update, exclude_subscriber)
         if not touched:
             return
         now = self.now
+        if self._tm_enqueued is not None:
+            self._tm_enqueued.increment(len(touched))
         for state, result in touched:
             self.stats.updates_enqueued += 1
             if result.superseded:
@@ -372,7 +398,8 @@ class DyconitSystem:
         if signals.now - self._last_policy_evaluation < self.policy.evaluation_period_ms:
             return False
         self._last_policy_evaluation = signals.now
-        self.policy.evaluate(self, signals)
+        with self.telemetry.span("policy.evaluate"):
+            self.policy.evaluate(self, signals)
         self.stats.policy_evaluations += 1
         return True
 
@@ -456,6 +483,10 @@ class DyconitSystem:
             self.stats.flushes_forced += 1
         self.stats.updates_delivered += len(updates)
         self.stats.per_flush_batch_sizes.append(len(updates))
+        if self._tm_delivered is not None:
+            self._tm_delivered.increment(len(updates))
+            self._tm_batch_size.record(len(updates))
+            self.telemetry.counter("dyconit_flushes_total", reason=reason).increment()
         for update in updates:
             self.stats.queue_delay_total_ms += max(0.0, now - update.time)
             self.stats.queue_delay_samples += 1

@@ -16,6 +16,8 @@ import argparse
 import sys
 
 from repro.experiments import figures
+from repro.experiments.store import save_telemetry
+from repro.telemetry import Telemetry, render_summary, set_telemetry
 
 
 def _common(parser: argparse.ArgumentParser) -> None:
@@ -28,6 +30,11 @@ def _common(parser: argparse.ArgumentParser) -> None:
         help="measurement warmup in simulated seconds (default: duration/3)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record an instrumented run: write a JSONL span/metric stream "
+        "to PATH and a Prometheus snapshot to PATH.prom",
+    )
 
 
 def _window(args) -> dict:
@@ -107,13 +114,29 @@ def main(argv: list[str] | None = None) -> int:
         else:
             raise ValueError(f"unknown experiment {name!r}")
 
-    if args.experiment == "all":
-        for name in ("e1", "e3", "e4", "e6", "e7", "e8a", "e8b", "e8c"):
-            print(f"=== {name} ===")
-            run_one(name)
-            print()
-    else:
-        run_one(args.experiment)
+    hub = None
+    previous_hub = None
+    if args.telemetry:
+        hub = Telemetry(enabled=True)
+        previous_hub = set_telemetry(hub)
+
+    try:
+        if args.experiment == "all":
+            for name in ("e1", "e3", "e4", "e6", "e7", "e8a", "e8b", "e8c"):
+                print(f"=== {name} ===")
+                run_one(name)
+                print()
+        else:
+            run_one(args.experiment)
+    finally:
+        if hub is not None:
+            set_telemetry(previous_hub)
+
+    if hub is not None:
+        jsonl_path, prom_path = save_telemetry(args.telemetry, hub)
+        print()
+        print(render_summary(hub))
+        print(f"\ntelemetry: wrote {jsonl_path} and {prom_path}")
     return 0
 
 

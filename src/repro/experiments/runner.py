@@ -9,6 +9,8 @@ from repro.experiments.configs import ExperimentConfig, make_partitioner
 from repro.metrics.summary import Summary, describe
 from repro.server.engine import GameServer
 from repro.sim.simulator import Simulation
+from repro.telemetry.bridge import install_tracer
+from repro.telemetry.hub import Telemetry, get_telemetry
 from repro.world.world import World
 
 
@@ -67,13 +69,27 @@ class ExperimentResult:
         }
 
 
-def run_experiment(config: ExperimentConfig, hooks=None) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig,
+    hooks=None,
+    telemetry: Telemetry | None = None,
+) -> ExperimentResult:
     """Run one experiment point in a fresh simulation.
 
     ``hooks`` is an optional list of ``(time_ms, callable(server, workload))``
     pairs the dynamics experiment uses to inject load bursts.
+
+    ``telemetry`` defaults to the ambient hub (installed by the CLI's
+    ``--telemetry`` flag); when enabled, the run is instrumented
+    end-to-end — tick-phase spans, middleware counters, a tracer bridging
+    middleware decisions onto the same timeline — and the whole run is
+    wrapped in an ``experiment.run`` span labeled with the config.
     """
-    sim = Simulation()
+    if telemetry is None:
+        telemetry = get_telemetry()
+    sim = Simulation(telemetry=telemetry)
+    if telemetry.enabled:
+        telemetry.set_time_source(lambda: sim.now)
     world = World(seed=config.seed)
     policy = config.build_policy()
     server = GameServer(
@@ -83,9 +99,12 @@ def run_experiment(config: ExperimentConfig, hooks=None) -> ExperimentResult:
         policy=policy,
         partitioner=None if policy is None else make_partitioner(config.partitioner),
         direct_mode=policy is None,
+        telemetry=telemetry,
     )
     if server.dyconits is not None:
         server.dyconits.merging_enabled = config.merging_enabled
+        if telemetry.enabled:
+            install_tracer(server.dyconits, telemetry)
     server.transport.record_latencies = config.record_latencies
     server.start()
 
@@ -96,7 +115,10 @@ def run_experiment(config: ExperimentConfig, hooks=None) -> ExperimentResult:
         for time_ms, hook in hooks:
             sim.schedule_at(time_ms, _bind_hook(hook, server, workload))
 
-    sim.run_until(config.duration_ms)
+    with telemetry.span(
+        "experiment.run", name=config.name, policy=config.policy, bots=config.bots
+    ):
+        sim.run_until(config.duration_ms)
 
     return collect_result(config, server, workload, policy)
 

@@ -110,6 +110,25 @@ def save_results(path: str | Path, results: dict[str, ExperimentResult]) -> None
     Path(path).write_text(json.dumps(payload, indent=2, default=_jsonify))
 
 
+def save_telemetry(path: str | Path, telemetry) -> tuple[Path, Path]:
+    """Archive a run's telemetry next to its JSON results.
+
+    Writes the JSONL span/metric stream to ``path`` and a Prometheus
+    text snapshot to ``path`` with a ``.prom`` suffix appended; returns
+    both paths.
+    """
+    from repro.telemetry.exporters import export_jsonl, export_prometheus
+
+    jsonl_path = Path(path)
+    prom_path = jsonl_path.with_suffix(jsonl_path.suffix + ".prom")
+    # A missing parent must not discard the run's telemetry after the
+    # (possibly long) run already completed.
+    jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+    export_jsonl(telemetry, jsonl_path)
+    export_prometheus(telemetry, prom_path)
+    return jsonl_path, prom_path
+
+
 def load_results(path: str | Path) -> dict[str, ExperimentResult]:
     payload = json.loads(Path(path).read_text())
     return {name: result_from_dict(data) for name, data in payload.items()}

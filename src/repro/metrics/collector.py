@@ -23,6 +23,13 @@ class Counter:
             raise ValueError(f"counter {self.name} cannot decrease (amount={amount})")
         self.value += amount
 
+    def add(self, amount: float = 1.0) -> None:
+        """Alias for :meth:`increment` (same verb as :meth:`Gauge.add`)."""
+        self.increment(amount)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
 
 @dataclass
 class Gauge:
@@ -36,6 +43,9 @@ class Gauge:
 
     def add(self, amount: float) -> None:
         self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
 
 
 @dataclass
@@ -74,6 +84,10 @@ class TimeSeries:
         if span_ms <= 0:
             return 0.0
         return (self.values[-1] - self.values[0]) / (span_ms / 1000.0)
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.values.clear()
 
 
 class Histogram:
@@ -134,6 +148,15 @@ class Histogram:
                 return self.min_value * self.growth ** (bucket + 0.5)
         return self.max_value
 
+    def reset(self) -> None:
+        """Forget every sample; bucketing configuration is preserved."""
+        self._buckets.clear()
+        self.count = 0
+        self.total = 0.0
+        self.max_value = float("-inf")
+        self.min_seen = float("inf")
+        self._zero_count = 0
+
     def merge(self, other: "Histogram") -> None:
         if other.min_value != self.min_value or other.growth != self.growth:
             raise ValueError("histograms with different bucketing cannot merge")
@@ -183,3 +206,14 @@ class MetricsRegistry:
         for name, gauge in self._gauges.items():
             values[name] = gauge.value
         return values
+
+    def reset(self) -> None:
+        """Reset every registered metric in place.
+
+        Experiment reruns call this between repetitions: instances stay
+        registered (components hold direct references to them) but their
+        recorded state is cleared, so no samples leak across runs.
+        """
+        for metric_map in (self._counters, self._gauges, self._series, self._histograms):
+            for metric in metric_map.values():
+                metric.reset()

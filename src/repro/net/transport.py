@@ -15,6 +15,7 @@ from repro.net.link import ClientLink, LinkConfig
 from repro.net.protocol import Packet
 from repro.sim.rng import derive_rng
 from repro.sim.simulator import Simulation
+from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,8 +43,18 @@ class Transport:
         default_link: LinkConfig | None = None,
         seed: int = 0,
         synchronous_delivery: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.sim = sim
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            self._tm_sent = self.telemetry.counter("link_packets_sent_total")
+            self._tm_latency = self.telemetry.histogram(
+                "link_delivery_latency_ms", min_value=0.1
+            )
+        else:
+            self._tm_sent = None
+            self._tm_latency = None
         self.default_link = default_link if default_link is not None else LinkConfig()
         self.seed = seed
         #: When True, handlers run at send time (latency is still computed
@@ -110,6 +121,8 @@ class Transport:
         now = self.sim.now
         delivery_time = link.transmit(packet, now)
         handler = self._handlers[client_id]
+        if self._tm_sent is not None:
+            self._tm_sent.increment()
 
         if self.synchronous_delivery:
             delivered = DeliveredPacket(
@@ -117,6 +130,8 @@ class Transport:
             )
             if self.record_latencies:
                 self.latencies_ms.append(delivered.latency_ms)
+            if self._tm_latency is not None:
+                self._tm_latency.record(delivered.latency_ms)
             handler(delivered)
             return
 
@@ -128,6 +143,8 @@ class Transport:
             )
             if self.record_latencies:
                 self.latencies_ms.append(delivered.latency_ms)
+            if self._tm_latency is not None:
+                self._tm_latency.record(delivered.latency_ms)
             handler(delivered)
 
         self.sim.schedule_at(delivery_time, deliver)

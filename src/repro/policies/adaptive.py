@@ -119,6 +119,14 @@ class AdaptiveBoundsPolicy(Policy):
         self.factor = max(self.min_factor, min(self.max_factor, self.factor))
         self.factor_history.append((signals.now, self.factor))
 
+        telemetry = getattr(system, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            telemetry.gauge("policy_factor").set(self.factor)
+            telemetry.gauge("policy_tick_utilization").set(signals.tick_utilization)
+            if self.factor != previous:
+                direction = "loosen" if self.factor > previous else "tighten"
+                telemetry.counter("policy_adjustments_total", direction=direction).increment()
+
         if self.factor != previous:
             self._reapply_all(system)
 

@@ -122,6 +122,7 @@ class ElasticPartitioningPolicy(Policy):
             if total_rate <= self.cold_commits_per_second:
                 system.merge_dyconits(members, self._merged_id(region))
                 self.merges += 1
+                self._count_repartition(system, "merge")
 
     def _split_hot_regions(self, system, rates: dict[Hashable, float]) -> None:
         for dyconit_id, rate in list(rates.items()):
@@ -134,6 +135,13 @@ class ElasticPartitioningPolicy(Policy):
             ):
                 system.split_dyconit(dyconit_id)
                 self.splits += 1
+                self._count_repartition(system, "split")
+
+    @staticmethod
+    def _count_repartition(system, operation: str) -> None:
+        telemetry = getattr(system, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            telemetry.counter("elastic_repartitions_total", operation=operation).increment()
 
     def __repr__(self) -> str:
         return (

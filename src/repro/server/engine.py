@@ -31,9 +31,10 @@ from repro.net.protocol import (
     Packet,
     PlayerActionPacket,
 )
-from repro.net.transport import DeliveredPacket, Transport
+from repro.net.transport import Transport
 from repro.sim.rng import derive_rng
 from repro.sim.simulator import Simulation
+from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
 from repro.world.block import BlockType
 from repro.world.entity import EntityKind
 from repro.world.events import EntityMoveEvent, WorldEvent
@@ -60,16 +61,22 @@ class GameServer:
         policy: Policy | None = None,
         partitioner: DyconitPartitioner | None = None,
         direct_mode: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.sim = sim
         self.config = config if config is not None else ServerConfig()
         self.world = world if world is not None else World(seed=self.config.seed)
         self.direct_mode = direct_mode
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            # Stamp spans/events with this server's simulated clock.
+            self.telemetry.set_time_source(lambda: sim.now)
         self.transport = Transport(
             sim,
             self.config.link,
             seed=self.config.seed,
             synchronous_delivery=self.config.synchronous_delivery,
+            telemetry=self.telemetry,
         )
         self.codec = SessionCodec(self.world)
         self.interest = InterestManager(self)
@@ -84,6 +91,7 @@ class GameServer:
                 policy,
                 partitioner if partitioner is not None else ChunkPartitioner(),
                 time_source=lambda: sim.now,
+                telemetry=self.telemetry,
             )
 
         self.sessions: dict[int, PlayerSession] = {}
@@ -234,8 +242,10 @@ class GameServer:
             client_id = self._client_by_entity.get(event.entity_id)
             if client_id is not None:
                 session = self.sessions.get(client_id)
-                if session is not None and self.interest.refresh(session):
-                    if self.dyconits is not None:
+                if session is not None:
+                    with self.telemetry.span("tick.interest"):
+                        refreshed = self.interest.refresh(session)
+                    if refreshed and self.dyconits is not None:
                         self.dyconits.notify_subscriber_moved(client_id)
 
     def _broadcast_direct(self, event: WorldEvent, exclude: int | None) -> None:
@@ -266,7 +276,8 @@ class GameServer:
             now = self.sim.now
             for update in updates:
                 delay_histogram.record(max(0.0, now - update.time))
-            packets = self.codec.encode(session, updates)
+            with self.telemetry.span("tick.serialize"):
+                packets = self.codec.encode(session, updates)
             if packets:
                 self.send_packets(session, packets)
 
@@ -303,24 +314,30 @@ class GameServer:
         else:
             commits_before = enqueues_before = flushes_before = 0
 
+        telemetry = self.telemetry
+
         # 1. Inbound actions.
         inbound, self._inbound = self._inbound, []
-        for client_id, action in inbound:
-            self._apply_action(client_id, action)
+        with telemetry.span("tick.input"):
+            for client_id, action in inbound:
+                self._apply_action(client_id, action)
 
         # 2. Ambient mobs.
         if self._mob_ids and self.tick_count % self.config.mob_step_ticks == 0:
-            self._step_mobs()
+            with telemetry.span("tick.simulate"):
+                self._step_mobs()
 
         # 3. Middleware staleness flushes.
         if self.dyconits is not None:
-            self.dyconits.tick()
+            with telemetry.span("tick.flush"):
+                self.dyconits.tick()
 
         # 4. Keepalives.
         if self.sim.now - self._last_keepalive >= self.config.keepalive_interval_ms:
             self._last_keepalive = self.sim.now
-            for session in self.sessions.values():
-                self.send_packets(session, [KeepAlivePacket(nonce=self.tick_count)])
+            with telemetry.span("tick.keepalive"):
+                for session in self.sessions.values():
+                    self.send_packets(session, [KeepAlivePacket(nonce=self.tick_count)])
 
         # 5. Price the tick.
         if self.dyconits is not None:
@@ -353,10 +370,15 @@ class GameServer:
             self.sim.now, self.transport.total_bytes()
         )
         self.metrics.histogram("tick_duration_ms").record(duration)
+        if telemetry.enabled:
+            telemetry.counter("server_ticks_total").increment()
+            telemetry.gauge("server_players").set(len(self.sessions))
+            telemetry.histogram("server_tick_priced_ms", min_value=0.1).record(duration)
 
         # 6. Policy evaluation (rate-limited inside the system).
         if self.dyconits is not None:
-            self.dyconits.evaluate_policy(self.load_signals(duration))
+            with telemetry.span("tick.policy"):
+                self.dyconits.evaluate_policy(self.load_signals(duration))
 
         # 7. Schedule the next tick. An overloaded tick pushes the next
         #    one out, dropping the effective tick rate below 20 Hz.

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue, ScheduledEvent
+from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
 
 
 class Simulation:
@@ -17,9 +18,10 @@ class Simulation:
     before dispatching it.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, telemetry: Telemetry | None = None) -> None:
         self.clock = SimClock(start)
         self.queue = EventQueue()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._running = False
 
     @property
@@ -48,6 +50,13 @@ class Simulation:
         follow-up phases (e.g. a measurement epoch) start from a known
         instant. Events scheduled exactly at ``end_ms`` are dispatched.
         """
+        # The dispatch counter is resolved once per run, not per event:
+        # this loop is the hottest code in the repository.
+        dispatched = (
+            self.telemetry.counter("sim_events_dispatched_total")
+            if self.telemetry.enabled
+            else None
+        )
         self._running = True
         try:
             while self._running:
@@ -59,6 +68,8 @@ class Simulation:
                     break
                 self.clock.advance_to(event.time)
                 event.callback()
+                if dispatched is not None:
+                    dispatched.increment()
         finally:
             self._running = False
         if self.clock.now < end_ms:
@@ -66,6 +77,11 @@ class Simulation:
 
     def run(self) -> None:
         """Dispatch events until the queue is exhausted."""
+        dispatched = (
+            self.telemetry.counter("sim_events_dispatched_total")
+            if self.telemetry.enabled
+            else None
+        )
         self._running = True
         try:
             while self._running:
@@ -74,6 +90,8 @@ class Simulation:
                     break
                 self.clock.advance_to(event.time)
                 event.callback()
+                if dispatched is not None:
+                    dispatched.increment()
         finally:
             self._running = False
 

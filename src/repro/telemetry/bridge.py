@@ -1,0 +1,51 @@
+"""Bridge: route DyconitTracer decisions onto the telemetry timeline.
+
+``DyconitTracer`` (S10) predates the telemetry hub and keeps its own ring
+buffer; a :class:`TelemetryTracer` is a drop-in replacement that *also*
+mirrors every middleware decision into the hub as a ``trace.<kind>``
+event and a ``trace_events_total{kind=...}`` counter — so flush reasons,
+bound changes, and merges/splits line up against tick-phase spans on one
+timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.trace import DyconitTracer
+from repro.telemetry.hub import Telemetry
+
+
+class TelemetryTracer(DyconitTracer):
+    """A DyconitTracer that mirrors events into a telemetry hub."""
+
+    def __init__(self, telemetry: Telemetry, capacity: int = 10_000) -> None:
+        super().__init__(capacity=capacity)
+        self.telemetry = telemetry
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        dyconit_id: Hashable,
+        subscriber_id: int | None = None,
+        detail: str = "",
+    ) -> None:
+        super().record(time, kind, dyconit_id, subscriber_id, detail)
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        telemetry.counter("trace_events_total", kind=kind).increment()
+        telemetry.event(
+            "trace." + kind,
+            dyconit=repr(dyconit_id),
+            subscriber="" if subscriber_id is None else str(subscriber_id),
+            detail=detail,
+        )
+
+
+def install_tracer(system, telemetry: Telemetry, capacity: int = 10_000) -> TelemetryTracer:
+    """Attach a :class:`TelemetryTracer` to a DyconitSystem and return it."""
+    tracer = TelemetryTracer(telemetry, capacity=capacity)
+    system.tracer = tracer
+    return tracer

@@ -6,10 +6,8 @@ from repro.core.bounds import Bounds
 from repro.core.manager import DyconitSystem
 from repro.core.partition import ChunkPartitioner
 from repro.core.policy import LoadSignals, Policy
-from repro.core.subscription import Subscriber
-from repro.world.block import BlockType
-from repro.world.events import BlockChangeEvent, EntityMoveEvent
-from repro.world.geometry import BlockPos, Vec3
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
 
 from tests.conftest import RecordingSubscriber
 

@@ -65,6 +65,46 @@ def test_ring_buffer_caps_memory():
     assert [event.time for event in tracer] == [15.0, 16.0, 17.0, 18.0, 19.0]
 
 
+def test_ring_buffer_wraparound_interleaved_kinds():
+    """Eviction is strictly oldest-first even when kinds interleave, and
+    the per-kind counters keep full totals after overflow."""
+    tracer = DyconitTracer(capacity=4)
+    kinds = ["flush", "bounds", "flush", "merge", "flush", "split", "bounds"]
+    for index, kind in enumerate(kinds):
+        tracer.record(float(index), kind, "d")
+    # Only the newest 4 survive, in arrival order.
+    assert [(event.time, event.kind) for event in tracer] == [
+        (3.0, "merge"),
+        (4.0, "flush"),
+        (5.0, "split"),
+        (6.0, "bounds"),
+    ]
+    # Counters are not decremented by eviction: they count all 7 records.
+    assert tracer.counts == {"flush": 3, "bounds": 2, "merge": 1, "split": 1}
+    # Filtered views only see retained events.
+    assert len(tracer.events(kind="flush")) == 1
+    assert len(tracer.events(kind="bounds")) == 1
+
+
+def test_ring_buffer_wraparound_multiple_times():
+    tracer = DyconitTracer(capacity=3)
+    for index in range(10):
+        tracer.record(float(index), "flush" if index % 2 == 0 else "bounds", "d")
+    assert len(tracer) == 3
+    assert tracer.counts["flush"] == 5
+    assert tracer.counts["bounds"] == 5
+    assert [event.time for event in tracer] == [7.0, 8.0, 9.0]
+
+
+def test_format_tail_after_overflow_shows_newest():
+    tracer = DyconitTracer(capacity=2)
+    for index in range(5):
+        tracer.record(float(index), "flush", "d", detail=f"n={index}")
+    text = tracer.format_tail(count=10)
+    assert "n=4" in text and "n=3" in text
+    assert "n=0" not in text
+
+
 def test_filtering_by_dyconit():
     tracer = DyconitTracer()
     tracer.record(0.0, "flush", "a")

@@ -4,8 +4,6 @@ Players joining and leaving mid-run must never crash the middleware,
 leak subscriptions, or deliver packets to dead sockets.
 """
 
-import pytest
-
 from repro.bots.bot import BotClient
 from repro.bots.movement import HotspotModel
 from repro.bots.workload import Workload, WorkloadSpec

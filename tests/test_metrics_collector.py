@@ -16,6 +16,20 @@ class TestCounter:
         with pytest.raises(ValueError):
             Counter("c").increment(-1)
 
+    def test_add_is_increment_alias(self):
+        counter = Counter("c")
+        counter.add(4.0)
+        counter.add()
+        assert counter.value == 5.0
+        with pytest.raises(ValueError):
+            counter.add(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.increment(9)
+        counter.reset()
+        assert counter.value == 0.0
+
 
 class TestGauge:
     def test_set_and_add(self):
@@ -23,6 +37,12 @@ class TestGauge:
         gauge.set(10.0)
         gauge.add(-3.0)
         assert gauge.value == 7.0
+
+    def test_reset(self):
+        gauge = Gauge("g")
+        gauge.set(-4.0)
+        gauge.reset()
+        assert gauge.value == 0.0
 
 
 class TestTimeSeries:
@@ -55,6 +75,14 @@ class TestTimeSeries:
         assert series.rate_per_second() == 0.0
         series.record(0.0, 5.0)
         assert series.rate_per_second() == 0.0
+
+    def test_reset_allows_earlier_times_again(self):
+        series = TimeSeries("s")
+        series.record(100.0, 1.0)
+        series.reset()
+        assert len(series) == 0
+        series.record(0.0, 2.0)  # would raise without the reset
+        assert series.values == [2.0]
 
 
 class TestHistogram:
@@ -116,6 +144,19 @@ class TestHistogram:
         with pytest.raises(ValueError):
             a.merge(b)
 
+    def test_reset_restores_empty_state(self):
+        hist = Histogram("h", min_value=1.0)
+        hist.record(0.0)
+        hist.record(50.0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.total == 0.0
+        assert hist.quantile(0.99) == 0.0
+        # Recording after reset behaves like a fresh histogram.
+        hist.record(7.0)
+        assert hist.count == 1
+        assert hist.max_value == 7.0
+
 
 class TestRegistry:
     def test_same_name_same_instance(self):
@@ -131,3 +172,21 @@ class TestRegistry:
         registry.gauge("load").set(0.7)
         snapshot = registry.snapshot()
         assert snapshot == {"sent": 5.0, "load": 0.7}
+
+    def test_reset_clears_all_metrics_but_keeps_instances(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sent")
+        counter.increment(5)
+        gauge = registry.gauge("load")
+        gauge.set(0.7)
+        series = registry.series("ticks")
+        series.record(0.0, 1.0)
+        hist = registry.histogram("latency")
+        hist.record(3.0)
+        registry.reset()
+        assert registry.snapshot() == {"sent": 0.0, "load": 0.0}
+        assert len(series) == 0
+        assert hist.count == 0
+        # Same instances survive: handles cached by callers stay valid.
+        assert registry.counter("sent") is counter
+        assert registry.gauge("load") is gauge

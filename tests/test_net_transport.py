@@ -5,7 +5,6 @@ import pytest
 from repro.net.link import LinkConfig
 from repro.net.protocol import ChatMessagePacket, KeepAlivePacket
 from repro.net.transport import Transport
-from repro.sim.simulator import Simulation
 
 
 @pytest.fixture

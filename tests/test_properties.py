@@ -10,7 +10,7 @@ from repro.core.bounds import Bounds
 from repro.core.dyconit import SubscriptionState
 from repro.core.subscription import Subscriber
 from repro.metrics.collector import Histogram
-from repro.metrics.summary import describe, percentile
+from repro.metrics.summary import describe
 from repro.sim.events import EventQueue
 from repro.world.events import EntityMoveEvent
 from repro.world.geometry import BlockPos, ChunkPos, Vec3

@@ -23,7 +23,6 @@ from repro.world.events import (
     EntitySpawnEvent,
 )
 from repro.world.geometry import BlockPos, ChunkPos, Vec3, chunks_in_radius
-from repro.world.world import World
 
 
 @pytest.fixture

@@ -12,7 +12,6 @@ from repro.world.events import (
     EntitySpawnEvent,
 )
 from repro.world.geometry import BlockPos, ChunkPos, Vec3
-from repro.world.world import World
 
 
 @pytest.fixture
