@@ -1,0 +1,79 @@
+"""Fan-out wall-clock benchmarks (pytest wrapper).
+
+Thin pytest-benchmark shims over :mod:`repro.experiments.wallclock` so the
+hot-path timings show up in ``pytest benchmarks/`` runs alongside E5, plus
+a crash-only smoke test of the full suite at a reduced scale. CI runs the
+smoke test: it asserts shape and sanity of the payload, never timing, so a
+slow shared runner cannot flake the build.
+
+Regenerate the committed trajectory file with::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py
+"""
+
+import pytest
+
+from repro.experiments import wallclock
+from repro.world.geometry import Vec3
+
+
+@pytest.mark.benchmark(group="fanout")
+def test_broadcast_scan_50(benchmark):
+    server, movers = wallclock.build_fanout_scenario(50)
+    batch = wallclock._steady_move_events(server, movers, 500)
+
+    def run():
+        for event in batch:
+            server._broadcast_direct_scan(event, None)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fanout")
+def test_broadcast_indexed_50(benchmark):
+    server, movers = wallclock.build_fanout_scenario(50)
+    batch = wallclock._steady_move_events(server, movers, 500)
+
+    def run():
+        for event in batch:
+            server._broadcast_direct(event, None)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fanout")
+def test_interest_refresh_50(benchmark):
+    server, __ = wallclock.build_fanout_scenario(50)
+    session = next(iter(server.sessions.values()))
+    entity = server.world.get_entity(session.entity_id)
+    origin = entity.position
+    across = Vec3(origin.x + 16.0, origin.y, origin.z)
+    toggle = [False]
+
+    def run():
+        toggle[0] = not toggle[0]
+        entity.position = across if toggle[0] else origin
+        server.interest.refresh(session)
+
+    benchmark(run)
+
+
+def test_suite_smoke():
+    """The whole suite runs end to end at toy scale and produces a
+    well-formed payload. No timing assertions: CI fails on crash only."""
+    payload = wallclock.run_suite(
+        bot_counts=(10,), events=120, crossings=60, refreshes=20, commits=500
+    )
+    assert payload["schema"] == "bench-fanout/1"
+    benches = {(row["bench"], row["impl"]) for row in payload["rows"]}
+    assert ("direct_broadcast", "scan") in benches
+    assert ("direct_broadcast", "indexed") in benches
+    assert ("entity_crossing", "scan") in benches
+    assert ("entity_crossing", "indexed") in benches
+    assert ("interest_refresh", "shared") in benches
+    assert ("dyconit_commit", "indexed") in benches
+    assert ("dyconit_flush", "indexed") in benches
+    for row in payload["rows"]:
+        assert row["ops_per_sec"] > 0
+        assert row["elapsed_s"] >= 0
+    assert "direct_broadcast@10" in payload["speedups"]

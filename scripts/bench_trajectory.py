@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Record the fan-out wall-clock trajectory into BENCH_fanout.json.
+
+Usage: [PYTHONPATH=src] python scripts/bench_trajectory.py [--quick]
+           [--out PATH] [--bots N [N ...]]
+
+Runs the :mod:`repro.experiments.wallclock` suite (direct-mode broadcast
+scan vs indexed, entity-crossing handler scan vs indexed, interest
+refresh, dyconit commit/flush) at each fleet size and writes the rows +
+scan→indexed speedups to ``BENCH_fanout.json`` at the repo root. When a
+previous file exists, prints a before/after comparison first so perf
+regressions are visible at regeneration time.
+
+``--quick`` shrinks every op count ~10x (CI smoke; numbers are noisy,
+use only for crash detection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import wallclock  # noqa: E402
+
+
+def compare(previous: dict, current: dict) -> str:
+    """Row-by-row ops/sec delta against the previously committed file."""
+    old_rows = {
+        (row["bench"], row["impl"], row["bots"]): row
+        for row in previous.get("rows", [])
+    }
+    lines = [
+        f"{'bench':<18} {'impl':<8} {'bots':>5} "
+        f"{'before op/s':>14} {'after op/s':>14} {'delta':>8}"
+    ]
+    for row in current["rows"]:
+        key = (row["bench"], row["impl"], row["bots"])
+        old = old_rows.get(key)
+        before = f"{old['ops_per_sec']:,.0f}" if old else "-"
+        delta = (
+            f"{(row['ops_per_sec'] / old['ops_per_sec'] - 1.0) * 100.0:+.1f}%"
+            if old and old["ops_per_sec"]
+            else "-"
+        )
+        lines.append(
+            f"{row['bench']:<18} {row['impl']:<8} {row['bots']:>5} "
+            f"{before:>14} {row['ops_per_sec']:>14,.0f} {delta:>8}"
+        )
+    return "\n".join(lines)
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"{'bench':<18} {'impl':<8} {'bots':>5} {'ops/sec':>14} "
+        f"{'us/op':>10} {'ms/tick':>9}"
+    ]
+    for row in payload["rows"]:
+        per_tick = f"{row['per_tick_ms']:.3f}" if row["per_tick_ms"] is not None else "-"
+        lines.append(
+            f"{row['bench']:<18} {row['impl']:<8} {row['bots']:>5} "
+            f"{row['ops_per_sec']:>14,.0f} {row['us_per_op']:>10,.2f} {per_tick:>9}"
+        )
+    lines.append("")
+    lines.append("scan -> indexed speedups:")
+    for key, ratio in sorted(payload["speedups"].items()):
+        lines.append(f"  {key:<24} {ratio:.2f}x")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="~10x smaller op counts (CI smoke)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_fanout.json")
+    parser.add_argument("--bots", type=int, nargs="+", default=[50, 150])
+    args = parser.parse_args()
+
+    scale = dict(events=200, crossings=100, refreshes=40, commits=2_000) if args.quick \
+        else dict(events=2_000, crossings=1_000, refreshes=400, commits=20_000)
+    payload = wallclock.run_suite(bot_counts=tuple(args.bots), **scale)
+    payload["quick"] = args.quick
+    payload["python"] = platform.python_version()
+
+    if args.out.exists():
+        try:
+            previous = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+        print("before/after vs committed file:")
+        print(compare(previous, payload))
+        print()
+
+    print(render(payload))
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

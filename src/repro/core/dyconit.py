@@ -57,14 +57,20 @@ class SubscriptionState:
         return now - self.oldest_pending_time
 
     def enqueue(self, update: Update) -> EnqueueResult:
-        """Queue ``update``, merging over any older same-key update."""
+        """Queue ``update``, merging over any older same-key update.
+
+        A merge deletes the superseded entry before reinserting so the
+        survivor moves to the *end* of the dict: insertion order stays
+        commit-time order, which is what lets :meth:`drain` skip sorting.
+        """
         key = update.merge_key if self.merging else (self.enqueued_count, update.merge_key)
         superseded = key in self.pending
+        if superseded:
+            del self.pending[key]
+            self.merged_count += 1
         self.pending[key] = update
         self.accumulated_error += update.weight
         self.enqueued_count += 1
-        if superseded:
-            self.merged_count += 1
         became_pending = self.oldest_pending_time is None
         if became_pending:
             self.oldest_pending_time = update.time
@@ -78,12 +84,31 @@ class SubscriptionState:
         )
 
     def drain(self) -> list[Update]:
-        """Remove and return pending updates in commit-time order."""
-        updates = sorted(self.pending.values(), key=lambda update: update.time)
+        """Remove and return pending updates in commit-time order.
+
+        Sort-free: :meth:`enqueue` keeps dict insertion order equal to
+        commit order (merges delete-then-reinsert), and commits arrive
+        with nondecreasing sim time, so a flush is O(n) instead of
+        O(n log n). The one writer that can break the order — a
+        cross-queue dyconit merge — calls :meth:`restore_time_order`.
+        """
+        updates = list(self.pending.values())
         self.pending.clear()
         self.accumulated_error = 0.0
         self.oldest_pending_time = None
         return updates
+
+    def restore_time_order(self) -> None:
+        """Re-sort pending into commit-time order after a cross-queue merge.
+
+        Moving another subscription's backlog into this one appends
+        updates that may predate entries already queued here; one stable
+        sort restores the invariant :meth:`drain` relies on. Only the
+        (rare, policy-driven) repartitioning path pays this cost.
+        """
+        items = sorted(self.pending.items(), key=lambda item: item[1].time)
+        self.pending.clear()
+        self.pending.update(items)
 
 
 class Dyconit:

@@ -53,9 +53,17 @@ class DyconitSystem:
         #: and (un)subscriptions resolve through this table, so policies
         #: can merge cold dyconits and split them again live.
         self._aliases: dict[Hashable, Hashable] = {}
+        #: Reverse of ``_aliases``: target id -> its direct sources, in
+        #: merge order (dict-as-ordered-set). Lets ``split_dyconit`` run
+        #: in O(sources of that target) instead of scanning every alias.
+        self._alias_sources: dict[Hashable, dict[Hashable, None]] = {}
         self._subscribers: dict[int, Subscriber] = {}
-        #: dyconit ids each subscriber currently subscribes to.
-        self._subscriptions_by_subscriber: dict[int, set[Hashable]] = {}
+        #: dyconit ids each subscriber currently subscribes to, in
+        #: subscription order (dict-as-ordered-set). A plain set would
+        #: iterate in string-hash order — randomized per process — and
+        #: policies sweeping a subscriber's subscriptions would flush in
+        #: a different order each run, breaking run-to-run determinism.
+        self._subscriptions_by_subscriber: dict[int, dict[Hashable, None]] = {}
         #: Lazy staleness-deadline heap: (deadline, seq, dyconit_id, subscriber_id).
         self._deadline_heap: list[tuple[float, int, Hashable, int]] = []
         self._heap_seq = 0
@@ -125,7 +133,7 @@ class DyconitSystem:
                 state.subscriber.subscriber_id
             )
             if membership is not None:
-                membership.discard(dyconit_id)
+                membership.pop(dyconit_id, None)
         self.stats.dyconits_removed += 1
 
     def dyconits(self) -> Iterator[Dyconit]:
@@ -155,6 +163,7 @@ class DyconitSystem:
             if source_id == target_id:
                 continue
             self._aliases[source_id] = target_id
+            self._alias_sources.setdefault(target_id, {})[source_id] = None
             if self.telemetry.enabled:
                 self.telemetry.counter("dyconit_merges_total").increment()
             if self.tracer is not None:
@@ -172,12 +181,12 @@ class DyconitSystem:
                     subscriber.subscriber_id
                 )
                 if membership is not None:
-                    membership.discard(source_id)
+                    membership.pop(source_id, None)
                 existing = target.get_state(subscriber.subscriber_id)
                 if existing is None:
                     merged_state = target.subscribe(subscriber, state.bounds)
                     if membership is not None:
-                        membership.add(target_id)
+                        membership[target_id] = None
                 else:
                     merged_state = existing
                     merged_state.bounds = Bounds(
@@ -186,8 +195,14 @@ class DyconitSystem:
                         min(existing.bounds.order, state.bounds.order),
                     )
                 if state.has_pending:
+                    had_backlog = merged_state.has_pending
                     for update in state.drain():
                         merged_state.enqueue(update)
+                    if had_backlog:
+                        # The moved backlog may predate updates already
+                        # queued on the target; restore the time order the
+                        # sort-free drain relies on.
+                        merged_state.restore_time_order()
                     self._push_deadline(target_id, merged_state)
             self.stats.dyconits_removed += 1
         return target
@@ -200,9 +215,7 @@ class DyconitSystem:
         split and the next interest refresh; the target is then removed,
         flushing anything still queued.
         """
-        sources = [
-            source for source, target in self._aliases.items() if target == target_id
-        ]
+        sources = list(self._alias_sources.pop(target_id, ()))
         for source_id in sources:
             del self._aliases[source_id]
             if self.telemetry.enabled:
@@ -234,7 +247,7 @@ class DyconitSystem:
         if subscriber.subscriber_id in self._subscribers:
             raise ValueError(f"subscriber {subscriber.subscriber_id} already registered")
         self._subscribers[subscriber.subscriber_id] = subscriber
-        self._subscriptions_by_subscriber[subscriber.subscriber_id] = set()
+        self._subscriptions_by_subscriber[subscriber.subscriber_id] = {}
 
     def remove_subscriber(self, subscriber_id: int, flush_pending: bool = False) -> None:
         """Drop a subscriber from every dyconit (player disconnect).
@@ -242,7 +255,7 @@ class DyconitSystem:
         ``flush_pending=False`` by default: a disconnecting player's
         socket is gone, so pending updates are dropped, not sent.
         """
-        membership = self._subscriptions_by_subscriber.pop(subscriber_id, set())
+        membership = self._subscriptions_by_subscriber.pop(subscriber_id, {})
         for dyconit_id in list(membership):
             dyconit = self._dyconits.get(dyconit_id)
             if dyconit is None:
@@ -265,7 +278,13 @@ class DyconitSystem:
         return len(self._subscribers)
 
     def subscriptions_of(self, subscriber_id: int) -> set[Hashable]:
-        return set(self._subscriptions_by_subscriber.get(subscriber_id, set()))
+        return set(self._subscriptions_by_subscriber.get(subscriber_id, ()))
+
+    def subscription_ids_of(self, subscriber_id: int) -> tuple[Hashable, ...]:
+        """Like :meth:`subscriptions_of` but in deterministic subscription
+        order — use this when *iterating* (bound sweeps, flushes) so the
+        sweep order doesn't depend on string-hash randomization."""
+        return tuple(self._subscriptions_by_subscriber.get(subscriber_id, ()))
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -287,7 +306,7 @@ class DyconitSystem:
         already = dyconit.is_subscribed(subscriber.subscriber_id)
         state = dyconit.subscribe(subscriber, bounds)
         if not already:
-            self._subscriptions_by_subscriber[subscriber.subscriber_id].add(dyconit_id)
+            self._subscriptions_by_subscriber[subscriber.subscriber_id][dyconit_id] = None
             self.stats.subscriptions += 1
         return state
 
@@ -305,7 +324,7 @@ class DyconitSystem:
             self._deliver(dyconit_id, state, reason="forced")
         membership = self._subscriptions_by_subscriber.get(subscriber_id)
         if membership is not None:
-            membership.discard(dyconit_id)
+            membership.pop(dyconit_id, None)
         self.stats.unsubscriptions += 1
 
     def set_bounds(self, dyconit_id: Hashable, subscriber_id: int, bounds: Bounds) -> None:
@@ -457,7 +476,7 @@ class DyconitSystem:
 
     def flush_subscriber(self, subscriber_id: int) -> None:
         """Force-flush everything queued for one subscriber."""
-        for dyconit_id in self.subscriptions_of(subscriber_id):
+        for dyconit_id in self.subscription_ids_of(subscriber_id):
             self.flush(dyconit_id, subscriber_id)
 
     def flush_all(self) -> None:

@@ -33,16 +33,22 @@ class DyconitPartitioner:
         """The dyconit owning a chunk."""
         raise NotImplementedError
 
-    def dyconits_for_view(self, center: ChunkPos, radius: int) -> set[Hashable]:
-        """Dyconits a player with the given view area must subscribe to.
+    def dyconits_for_view(self, center: ChunkPos, radius: int) -> dict[Hashable, None]:
+        """Dyconits a player with the given view area must subscribe to,
+        as a dict-as-ordered-set in deterministic view-scan order.
+
+        The ids are tuples containing strings, so a plain ``set`` would
+        iterate in randomized hash order and the subscribe order (hence
+        flush order) would differ run to run.
 
         Always includes the global dyconit (chat and other world-wide
         updates flow through it).
         """
         ids = {
-            self.dyconit_for_chunk(chunk) for chunk in chunks_in_radius(center, radius)
+            self.dyconit_for_chunk(chunk): None
+            for chunk in chunks_in_radius(center, radius)
         }
-        ids.add(GLOBAL_DYCONIT)
+        ids[GLOBAL_DYCONIT] = None
         return ids
 
     def chunk_of(self, dyconit_id: Hashable) -> ChunkPos | None:
@@ -112,8 +118,8 @@ class GlobalPartitioner(DyconitPartitioner):
     def dyconit_for_chunk(self, chunk: ChunkPos) -> Hashable:
         return GLOBAL_DYCONIT
 
-    def dyconits_for_view(self, center: ChunkPos, radius: int) -> set[Hashable]:
-        return {GLOBAL_DYCONIT}
+    def dyconits_for_view(self, center: ChunkPos, radius: int) -> dict[Hashable, None]:
+        return {GLOBAL_DYCONIT: None}
 
     def chunk_of(self, dyconit_id: Hashable) -> ChunkPos | None:
         return None

@@ -1,0 +1,315 @@
+"""Wall-clock micro-benchmarks for the event fan-out hot paths.
+
+Everything else in the experiment harness measures *simulated* quantities
+(bytes, ticks, staleness); this module measures what the implementation
+itself costs in real time — the quantity the ROADMAP's "as fast as the
+hardware allows" goal and the BENCH_fanout.json perf trajectory track.
+
+Four benches, each returning ops/sec over a steady-state scenario:
+
+* ``direct_broadcast`` — the vanilla per-event broadcast, scan vs
+  indexed. The scan visits every session per event (O(players²) per
+  movement tick); the indexed path only the viewers of the event's chunk.
+* ``entity_crossing`` — the interest manager's chunk-border handler,
+  scan vs indexed (viewers of the new chunk + knowers of the entity).
+* ``interest_refresh`` — re-centering one player's view across a chunk
+  border (shared by both paths; tracked so index upkeep stays honest).
+* ``dyconit_commit`` / ``dyconit_flush`` — middleware enqueue and the
+  (now sort-free) drain.
+
+Scenarios are deterministic (seeded), sized by (bots, events), and use
+synchronous delivery with no-op handlers so the timed region is the
+server-side fan-out work only.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import asdict, dataclass
+from time import perf_counter
+
+from repro.core.bounds import Bounds
+from repro.core.manager import DyconitSystem
+from repro.core.policy import Policy
+from repro.core.subscription import Subscriber
+from repro.server.config import ServerConfig
+from repro.server.engine import GameServer
+from repro.sim.simulator import Simulation
+from repro.world.entity import EntityKind
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
+from repro.world.world import World
+
+#: Players/movers are spread uniformly over a disc of this radius
+#: (blocks) — an exploration-spread fleet (~100 chunks across vs an
+#: 11×11-chunk view), so any one chunk is viewed by a small handful of
+#: players. This is the regime the paper's trek/exploration workloads
+#: live in and where an O(players) scan per event hurts most.
+SPREAD_RADIUS = 800.0
+
+#: Default mover-entity count (ambient mobs emitting the move events).
+MOVERS = 24
+
+
+@dataclass(frozen=True, slots=True)
+class BenchRow:
+    """One (bench, impl, fleet size) measurement."""
+
+    bench: str
+    impl: str  # "scan" | "indexed" | "shared"
+    bots: int
+    ops: int
+    elapsed_s: float
+    ops_per_sec: float
+    us_per_op: float
+    #: Wall ms of fan-out work per simulated tick, modelling one move
+    #: event per connected player per tick (None where a "tick" has no
+    #: meaning, e.g. the middleware microbenches).
+    per_tick_ms: float | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _make_row(
+    bench: str, impl: str, bots: int, ops: int, elapsed_s: float,
+    events_per_tick: int | None = None,
+) -> BenchRow:
+    per_op_s = elapsed_s / ops if ops else 0.0
+    return BenchRow(
+        bench=bench,
+        impl=impl,
+        bots=bots,
+        ops=ops,
+        elapsed_s=round(elapsed_s, 6),
+        ops_per_sec=round(ops / elapsed_s, 2) if elapsed_s > 0 else float("inf"),
+        us_per_op=round(per_op_s * 1e6, 3),
+        per_tick_ms=(
+            round(per_op_s * events_per_tick * 1e3, 4)
+            if events_per_tick is not None
+            else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario construction
+# ----------------------------------------------------------------------
+
+
+def _disc_position(rng: random.Random, world: World, radius: float) -> Vec3:
+    angle = rng.uniform(0.0, 2.0 * math.pi)
+    distance = radius * math.sqrt(rng.random())
+    return world.surface_position(
+        distance * math.cos(angle), distance * math.sin(angle)
+    )
+
+
+def build_fanout_scenario(bots: int, seed: int = 7, movers: int = MOVERS):
+    """A steady-state direct-mode server: ``bots`` sessions and ``movers``
+    mob entities spread over the same disc. Returns (server, movers)."""
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        world=World(seed=seed),
+        config=ServerConfig(seed=seed, synchronous_delivery=True, mob_count=0),
+        direct_mode=True,
+    )
+    server.start()
+    server.transport.record_latencies = False
+    rng = random.Random(seed)
+    world = server.world
+    mover_entities = [
+        world.spawn_entity(EntityKind.COW, _disc_position(rng, world, SPREAD_RADIUS))
+        for __ in range(movers)
+    ]
+    for index in range(bots):
+        server.connect(
+            f"wc-{index:04d}",
+            lambda delivered: None,
+            position=_disc_position(rng, world, SPREAD_RADIUS),
+        )
+    return server, mover_entities
+
+
+def _steady_move_events(server: GameServer, mover_entities, count: int):
+    """``count`` move events cycling the movers inside their own chunks
+    (no border crossings: pure broadcast work, stable session state)."""
+    events = []
+    for index in range(count):
+        entity = mover_entities[index % len(mover_entities)]
+        # Wiggle around the block center; stays inside the chunk.
+        offset = 0.25 if (index // len(mover_entities)) % 2 == 0 else -0.25
+        position = Vec3(
+            entity.position.x + offset, entity.position.y, entity.position.z
+        )
+        events.append(
+            EntityMoveEvent(
+                time=server.sim.now,
+                entity_id=entity.entity_id,
+                old_position=entity.position,
+                new_position=position,
+            )
+        )
+    return events
+
+
+# ----------------------------------------------------------------------
+# Benches
+# ----------------------------------------------------------------------
+
+
+def bench_direct_broadcast(bots: int, events: int = 2_000, seed: int = 7):
+    """Scan vs indexed rows for the vanilla broadcast path."""
+    server, movers = build_fanout_scenario(bots, seed=seed)
+    batch = _steady_move_events(server, movers, events)
+    rows = []
+    for impl, broadcast in (
+        ("scan", server._broadcast_direct_scan),
+        ("indexed", server._broadcast_direct),
+    ):
+        for event in batch[: len(movers)]:  # warmup: settle replica state
+            broadcast(event, None)
+        start = perf_counter()
+        for event in batch:
+            broadcast(event, None)
+        elapsed = perf_counter() - start
+        rows.append(
+            _make_row("direct_broadcast", impl, bots, events, elapsed,
+                      events_per_tick=bots)
+        )
+    return rows
+
+
+def bench_entity_crossing(bots: int, crossings: int = 1_000, seed: int = 7):
+    """Scan vs indexed rows for the chunk-border interest handler.
+
+    Alternates a synthetic crossing of each mover between its own chunk
+    and the next one over; replica state cycles, so both impls do the
+    same spawn/destroy work every round.
+    """
+    server, movers = build_fanout_scenario(bots, seed=seed)
+    interest = server.interest
+    plans = []
+    for entity in movers:
+        home = entity.position.to_chunk_pos()
+        away = type(home)(home.cx + 1, home.cz)
+        plans.append((entity.entity_id, home, away))
+    rows = []
+    for impl, handler in (
+        ("scan", interest.on_entity_crossed_scan),
+        ("indexed", interest.on_entity_crossed),
+    ):
+        start = perf_counter()
+        for index in range(crossings):
+            entity_id, home, away = plans[index % len(plans)]
+            if (index // len(plans)) % 2 == 0:
+                handler(entity_id, home, away)
+            else:
+                handler(entity_id, away, home)
+        elapsed = perf_counter() - start
+        rows.append(_make_row("entity_crossing", impl, bots, crossings, elapsed))
+    return rows
+
+
+def bench_interest_refresh(bots: int, refreshes: int = 400, seed: int = 7):
+    """One player ping-pongs across a chunk border; each refresh restreams
+    the view edge and updates the viewer index. Shared by both impls."""
+    server, __ = build_fanout_scenario(bots, seed=seed)
+    session = next(iter(server.sessions.values()))
+    entity = server.world.get_entity(session.entity_id)
+    origin = entity.position
+    across = Vec3(origin.x + 16.0, origin.y, origin.z)
+    start = perf_counter()
+    for index in range(refreshes):
+        entity.position = across if index % 2 == 0 else origin
+        server.interest.refresh(session)
+    elapsed = perf_counter() - start
+    return [_make_row("interest_refresh", "shared", bots, refreshes, elapsed)]
+
+
+class _StaticPolicy(Policy):
+    def __init__(self, bounds: Bounds) -> None:
+        self.bounds = bounds
+
+    def initial_bounds(self, system, dyconit_id, subscriber) -> Bounds:
+        return self.bounds
+
+
+def bench_dyconit_commit_flush(subscribers: int, commits: int = 20_000):
+    """Middleware enqueue throughput and sort-free flush drain cost."""
+    system = DyconitSystem(
+        _StaticPolicy(Bounds.INFINITE), time_source=lambda: 0.0
+    )
+    dyconit_id = ("chunk", 0, 0)
+    for subscriber_id in range(subscribers):
+        system.subscribe(
+            dyconit_id,
+            Subscriber(subscriber_id=subscriber_id, deliver=lambda d, u: None),
+        )
+    events = [
+        EntityMoveEvent(
+            time=float(index),
+            entity_id=index % 64 + 1,
+            old_position=Vec3(0, 0, 0),
+            new_position=Vec3(1, 0, 0),
+        )
+        for index in range(commits)
+    ]
+    start = perf_counter()
+    for event in events:
+        system.commit_to(dyconit_id, event)
+    commit_elapsed = perf_counter() - start
+    start = perf_counter()
+    system.flush_all()
+    flush_elapsed = perf_counter() - start
+    delivered = system.stats.updates_delivered
+    return [
+        _make_row("dyconit_commit", "indexed", subscribers, commits, commit_elapsed),
+        _make_row(
+            "dyconit_flush", "indexed", subscribers, max(1, delivered), flush_elapsed
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+
+
+def run_suite(
+    bot_counts=(50, 150), events: int = 2_000, crossings: int = 1_000,
+    refreshes: int = 400, commits: int = 20_000, seed: int = 7,
+) -> dict:
+    """Run every bench at each fleet size; returns the BENCH_fanout payload."""
+    rows: list[BenchRow] = []
+    for bots in bot_counts:
+        rows.extend(bench_direct_broadcast(bots, events=events, seed=seed))
+        rows.extend(bench_entity_crossing(bots, crossings=crossings, seed=seed))
+        rows.extend(bench_interest_refresh(bots, refreshes=refreshes, seed=seed))
+    rows.extend(bench_dyconit_commit_flush(50, commits=commits))
+    speedups = {}
+    by_key = {(row.bench, row.impl, row.bots): row for row in rows}
+    for (bench, impl, bots), row in by_key.items():
+        if impl != "indexed":
+            continue
+        scan = by_key.get((bench, "scan", bots))
+        if scan is not None and row.ops_per_sec > 0:
+            speedups[f"{bench}@{bots}"] = round(
+                row.ops_per_sec / scan.ops_per_sec, 2
+            )
+    return {
+        "schema": "bench-fanout/1",
+        "params": {
+            "bot_counts": list(bot_counts),
+            "events": events,
+            "crossings": crossings,
+            "refreshes": refreshes,
+            "commits": commits,
+            "seed": seed,
+            "spread_radius": SPREAD_RADIUS,
+        },
+        "rows": [row.to_dict() for row in rows],
+        "speedups": speedups,
+    }

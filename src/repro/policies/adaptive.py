@@ -82,7 +82,7 @@ class AdaptiveBoundsPolicy(Policy):
         return self.bounds_for(system, dyconit_id, subscriber)
 
     def on_subscriber_moved(self, system, subscriber: Subscriber) -> None:
-        for dyconit_id in system.subscriptions_of(subscriber.subscriber_id):
+        for dyconit_id in system.subscription_ids_of(subscriber.subscriber_id):
             system.set_bounds(
                 dyconit_id,
                 subscriber.subscriber_id,
@@ -132,7 +132,7 @@ class AdaptiveBoundsPolicy(Policy):
 
     def _reapply_all(self, system) -> None:
         for subscriber in list(system.subscribers()):
-            for dyconit_id in system.subscriptions_of(subscriber.subscriber_id):
+            for dyconit_id in system.subscription_ids_of(subscriber.subscriber_id):
                 system.set_bounds(
                     dyconit_id,
                     subscriber.subscriber_id,

@@ -47,7 +47,7 @@ class InterestCutoffPolicy(Policy):
         return self.bounds_for(system, dyconit_id, subscriber)
 
     def on_subscriber_moved(self, system, subscriber: Subscriber) -> None:
-        for dyconit_id in system.subscriptions_of(subscriber.subscriber_id):
+        for dyconit_id in system.subscription_ids_of(subscriber.subscriber_id):
             system.set_bounds(
                 dyconit_id,
                 subscriber.subscriber_id,

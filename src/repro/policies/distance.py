@@ -110,7 +110,7 @@ class DistanceBasedPolicy(Policy):
     def on_subscriber_moved(self, system, subscriber: Subscriber) -> None:
         # Crossing a chunk border shifts every distance; re-derive the
         # subscriber's whole bound set.
-        for dyconit_id in system.subscriptions_of(subscriber.subscriber_id):
+        for dyconit_id in system.subscription_ids_of(subscriber.subscriber_id):
             system.set_bounds(
                 dyconit_id,
                 subscriber.subscriber_id,

@@ -29,6 +29,11 @@ class ServerConfig:
     #: Deliver packets synchronously (latency still modelled & recorded);
     #: big capacity sweeps enable this to cut simulation overhead.
     synchronous_delivery: bool = False
+    #: Consult the chunk→viewers reverse index on the fan-out paths
+    #: (O(viewers) per event). Off = the brute-force O(players) scans,
+    #: kept for differential tests and the wall-clock benchmark; the two
+    #: are packet-for-packet identical.
+    use_viewer_index: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -45,6 +45,7 @@ from repro.server.config import ServerConfig
 from repro.server.costmodel import TickCostModel, TickWorkload
 from repro.server.interest import InterestManager
 from repro.server.session import PlayerSession
+from repro.server.viewindex import ViewerIndex
 
 #: EWMA smoothing factor for tick duration (signal the adaptive policy uses).
 TICK_EWMA_ALPHA = 0.2
@@ -80,6 +81,12 @@ class GameServer:
         )
         self.codec = SessionCodec(self.world)
         self.interest = InterestManager(self)
+        #: Reverse chunk→viewers / entity→knowers maps; always maintained
+        #: (the upkeep is O(view diff)), consulted by the fan-out paths
+        #: unless ``config.use_viewer_index`` is off (differential tests
+        #: and the wall-clock benchmark run the brute-force scans).
+        self.viewers = ViewerIndex()
+        self.use_viewer_index = self.config.use_viewer_index
         self.cost_model = TickCostModel(self.config.cost)
         self.metrics = MetricsRegistry()
 
@@ -164,6 +171,7 @@ class GameServer:
         )
         self.sessions[client_id] = session
         self._client_by_entity[entity.entity_id] = client_id
+        session.known_entities.bind(session, self.viewers)
 
         if self.dyconits is not None:
             subscriber = Subscriber(
@@ -231,7 +239,10 @@ class GameServer:
             old_chunk = event.old_position.to_chunk_pos()
             new_chunk = event.new_position.to_chunk_pos()
             if old_chunk != new_chunk:
-                self.interest.on_entity_crossed(event.entity_id, old_chunk, new_chunk)
+                with self.telemetry.span("tick.interest"):
+                    self.interest.on_entity_crossed(
+                        event.entity_id, old_chunk, new_chunk
+                    )
 
         if self.direct_mode or self.dyconits is None:
             self._broadcast_direct(event, exclude)
@@ -249,6 +260,30 @@ class GameServer:
                         self.dyconits.notify_subscriber_moved(client_id)
 
     def _broadcast_direct(self, event: WorldEvent, exclude: int | None) -> None:
+        """Vanilla broadcast: encode and send ``event`` to each viewer.
+
+        Chunk-anchored events consult the viewer index and touch only the
+        sessions that actually view the event's chunk — O(viewers), not
+        O(players). Chunk-less events (chat) keep the full-broadcast path.
+        """
+        if not self.use_viewer_index:
+            return self._broadcast_direct_scan(event, exclude)
+        chunk = event.chunk_pos
+        sessions = (
+            self.sessions.values() if chunk is None else self.viewers.viewers(chunk)
+        )
+        for session in sessions:
+            if session.client_id == exclude:
+                continue
+            packets = self.codec.encode(session, [event])
+            if packets:
+                self.send_packets(session, packets)
+
+    def _broadcast_direct_scan(self, event: WorldEvent, exclude: int | None) -> None:
+        """Brute-force reference for :meth:`_broadcast_direct`: scan every
+        session and filter by ``sees_chunk``. Kept (and differentially
+        tested) as the ground truth the indexed path must match
+        packet-for-packet."""
         chunk = event.chunk_pos
         for session in self.sessions.values():
             if session.client_id == exclude:
@@ -373,6 +408,7 @@ class GameServer:
         if telemetry.enabled:
             telemetry.counter("server_ticks_total").increment()
             telemetry.gauge("server_players").set(len(self.sessions))
+            telemetry.gauge("viewer_index_size").set(self.viewers.pair_count)
             telemetry.histogram("server_tick_priced_ms", min_value=0.1).record(duration)
 
         # 6. Policy evaluation (rate-limited inside the system).

@@ -51,10 +51,12 @@ class InterestManager:
             packets.append(self._chunk_packet(chunk_pos))
             packets.extend(self._entity_snapshots(session, chunk_pos))
         session.view_chunks = view
+        self.server.viewers.add_view(session, view)
         self.server.send_packets(session, packets)
         self._subscribe_view(session, set(), view)
 
     def on_leave(self, session: PlayerSession) -> None:
+        self.server.viewers.remove_view(session, session.view_chunks)
         session.view_chunks = set()
         session.known_entities.clear()
 
@@ -97,6 +99,8 @@ class InterestManager:
             packets.append(DestroyEntitiesPacket(entity_ids=tuple(destroyed)))
 
         session.view_chunks = new_view
+        self.server.viewers.add_view(session, added)
+        self.server.viewers.remove_view(session, removed)
         self.server.send_packets(session, packets)
         self._subscribe_view(session, old_view, new_view)
         return True
@@ -113,14 +117,47 @@ class InterestManager:
         Sessions that see the new chunk but not the old get a spawn;
         sessions that see the old but not the new get a destroy. Sessions
         seeing both keep receiving regular move updates.
+
+        Only two groups of sessions can need a packet: viewers of the new
+        chunk (spawn side) and sessions whose client holds a replica of
+        the entity (destroy side). The viewer index gives both in
+        O(viewers + knowers); every other session is provably a no-op in
+        the brute-force scan (:meth:`on_entity_crossed_scan`), which is
+        kept as the reference implementation for the differential tests
+        and the wall-clock benchmark.
         """
+        if not self.server.use_viewer_index:
+            return self.on_entity_crossed_scan(entity_id, old_chunk, new_chunk)
+        index = self.server.viewers
+        for session in index.viewers(new_chunk):
+            if session.entity_id == entity_id:
+                continue
+            if entity_id not in session.known_entities:
+                packet = self.server.codec.encode_entity_snapshot(session, entity_id)
+                if packet is not None:
+                    self.server.send_packets(session, [packet])
+        for session in index.knowers(entity_id):
+            if session.entity_id == entity_id:
+                continue
+            if not session.sees_chunk(new_chunk):
+                # Entity now outside this client's view: drop the replica
+                # wherever the client believes it is.
+                if session.forget_entity(entity_id):
+                    self.server.send_packets(
+                        session, [DestroyEntitiesPacket(entity_ids=(entity_id,))]
+                    )
+
+    def on_entity_crossed_scan(
+        self, entity_id: int, old_chunk: ChunkPos, new_chunk: ChunkPos
+    ) -> None:
+        """Brute-force reference for :meth:`on_entity_crossed`: visit every
+        session. O(players) per crossing; must stay behaviourally
+        identical to the indexed path."""
         for session in self.server.sessions.values():
             if session.entity_id == entity_id:
                 continue
             sees = session.sees_chunk(new_chunk)
             if not sees:
-                # Entity now outside this client's view: drop the replica
-                # wherever the client believes it is.
                 if session.forget_entity(entity_id):
                     self.server.send_packets(
                         session, [DestroyEntitiesPacket(entity_ids=(entity_id,))]
@@ -170,26 +207,28 @@ class InterestManager:
             return
         # Resolve through merge aliases *before* diffing: two chunks merged
         # into one dyconit must not be unsubscribed while either is still
-        # in view.
+        # in view. Both sides are dict-as-ordered-sets so the subscribe /
+        # unsubscribe order is deterministic (dyconit ids contain strings,
+        # whose set iteration order is randomized per process).
         new_ids = {
-            dyconits.resolve(dyconit_id)
+            dyconits.resolve(dyconit_id): None
             for dyconit_id in partitioner.dyconits_for_view(center, session.view_distance)
         }
-        old_ids: set = set()
+        old_ids: dict = {}
         if old_view:
-            old_ids = {
-                dyconits.resolve(partitioner.dyconit_for_chunk(chunk))
-                for chunk in old_view
-            }
+            for chunk in old_view:
+                old_ids[dyconits.resolve(partitioner.dyconit_for_chunk(chunk))] = None
             # The global dyconit (chat) is part of every view; keep it out
             # of the unsubscribe diff.
-            old_ids.add(GLOBAL_DYCONIT)
+            old_ids[GLOBAL_DYCONIT] = None
         subscriber = dyconits.subscriber(session.client_id)
         if subscriber is None:
             return
-        for dyconit_id in new_ids - old_ids:
-            dyconits.subscribe(dyconit_id, subscriber)
-        for dyconit_id in old_ids - new_ids:
-            # Updates about an area leaving the view are obsolete: the
-            # client is unloading those chunks. Drop, do not flush.
-            dyconits.unsubscribe(dyconit_id, session.client_id, flush_pending=False)
+        for dyconit_id in new_ids:
+            if dyconit_id not in old_ids:
+                dyconits.subscribe(dyconit_id, subscriber)
+        for dyconit_id in old_ids:
+            if dyconit_id not in new_ids:
+                # Updates about an area leaving the view are obsolete: the
+                # client is unloading those chunks. Drop, do not flush.
+                dyconits.unsubscribe(dyconit_id, session.client_id, flush_pending=False)

@@ -180,7 +180,7 @@ class World:
             entity.pitch = pitch
         new_chunk = entity.chunk_pos
         if new_chunk != old_chunk:
-            self._entities_by_chunk.get(old_chunk, set()).discard(entity_id)
+            self._unindex_at(entity_id, old_chunk)
             self._entities_by_chunk.setdefault(new_chunk, set()).add(entity_id)
         self._emit(
             EntityMoveEvent(
@@ -201,6 +201,15 @@ class World:
         self._emit(ChatEvent(time=self.time, sender_id=sender_id, text=text))
 
     def _unindex(self, entity: Entity) -> None:
-        bucket = self._entities_by_chunk.get(entity.chunk_pos)
-        if bucket is not None:
-            bucket.discard(entity.entity_id)
+        self._unindex_at(entity.entity_id, entity.chunk_pos)
+
+    def _unindex_at(self, entity_id: int, chunk: ChunkPos) -> None:
+        """Drop an entity from one chunk bucket, pruning the bucket when it
+        empties — a wandering entity must not leave a dead ``set()`` behind
+        for every chunk it ever crossed."""
+        bucket = self._entities_by_chunk.get(chunk)
+        if bucket is None:
+            return
+        bucket.discard(entity_id)
+        if not bucket:
+            del self._entities_by_chunk[chunk]

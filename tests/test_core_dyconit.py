@@ -73,15 +73,35 @@ class TestSubscriptionState:
         assert len(state.pending) == 2
         assert state.merged_count == 0
 
-    def test_drain_returns_time_order_and_resets(self):
+    def test_drain_returns_commit_order_and_resets(self):
         state = self.make_state()
-        state.enqueue(move(2, time=9.0))
         state.enqueue(move(1, time=5.0))
+        state.enqueue(move(2, time=9.0))
         drained = state.drain()
         assert [update.time for update in drained] == [5.0, 9.0]
         assert not state.has_pending
         assert state.accumulated_error == 0.0
         assert state.oldest_pending_time is None
+
+    def test_merge_moves_survivor_to_commit_position(self):
+        """A merged update re-enters the queue at its *new* commit position
+        (delete-then-reinsert), so drain stays sorted without sorting."""
+        state = self.make_state()
+        state.enqueue(move(1, time=1.0))
+        state.enqueue(move(2, time=2.0))
+        state.enqueue(move(1, time=3.0))  # supersedes the time=1.0 entry
+        drained = state.drain()
+        assert [update.time for update in drained] == [2.0, 3.0]
+        assert [update.entity_id for update in drained] == [2, 1]
+
+    def test_restore_time_order_after_cross_queue_merge(self):
+        """A dyconit merge can append a backlog that predates queued
+        entries; restore_time_order re-establishes the drain invariant."""
+        state = self.make_state()
+        state.enqueue(move(1, time=7.0))
+        state.enqueue(move(2, time=3.0))  # e.g. moved in from another queue
+        state.restore_time_order()
+        assert [update.time for update in state.drain()] == [3.0, 7.0]
 
     def test_exceeds_bounds_numerical(self):
         state = self.make_state(bounds=Bounds(1.5, 10_000.0))

@@ -162,6 +162,22 @@ def test_remove_subscriber_cleans_all_memberships(clock):
     assert system.get(("chunk", 0, 0)).subscriber_count == 0
 
 
+def test_subscription_ids_of_preserves_subscribe_order(clock):
+    """Policies sweep a subscriber's subscriptions when it moves; the
+    sweep order must be subscription order, not string-hash order."""
+    system = make_system(clock)
+    rec = RecordingSubscriber()
+    ids = [("chunk", 2, 0), ("chunk", 0, 0), ("chunk", 1, 0), ("chunk", 0, 2)]
+    for dyconit_id in ids:
+        system.subscribe(dyconit_id, rec.subscriber)
+    assert list(system.subscription_ids_of(rec.subscriber.subscriber_id)) == ids
+    system.unsubscribe(("chunk", 0, 0), rec.subscriber.subscriber_id)
+    assert list(system.subscription_ids_of(rec.subscriber.subscriber_id)) == [
+        ("chunk", 2, 0), ("chunk", 1, 0), ("chunk", 0, 2)
+    ]
+    assert system.subscription_ids_of(999) == ()
+
+
 def test_set_bounds_tightening_flushes_immediately(clock):
     system = make_system(clock, bounds=Bounds(100.0, 1e9))
     rec = RecordingSubscriber()

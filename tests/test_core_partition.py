@@ -42,6 +42,17 @@ class TestChunkPartitioner:
         assert ("chunk", 2, 2) in ids
         assert ("chunk", 3, 0) not in ids
 
+    def test_view_order_is_deterministic_scan_order(self):
+        """Subscribe order must not depend on string-hash randomization:
+        ids come back in view-scan order with the global dyconit last."""
+        ids = list(self.partitioner.dyconits_for_view(ChunkPos(0, 0), radius=1))
+        assert ids == [
+            ("chunk", -1, -1), ("chunk", -1, 0), ("chunk", -1, 1),
+            ("chunk", 0, -1), ("chunk", 0, 0), ("chunk", 0, 1),
+            ("chunk", 1, -1), ("chunk", 1, 0), ("chunk", 1, 1),
+            GLOBAL_DYCONIT,
+        ]
+
     def test_chunk_of_roundtrip(self):
         dyconit_id = self.partitioner.dyconit_for_chunk(ChunkPos(4, -7))
         assert self.partitioner.chunk_of(dyconit_id) == ChunkPos(4, -7)
@@ -95,5 +106,5 @@ class TestGlobalPartitioner:
         partitioner = GlobalPartitioner()
         assert partitioner.dyconit_for_event(block_event()) == GLOBAL_DYCONIT
         assert partitioner.dyconit_for_event(move_event()) == GLOBAL_DYCONIT
-        assert partitioner.dyconits_for_view(ChunkPos(9, 9), 5) == {GLOBAL_DYCONIT}
+        assert list(partitioner.dyconits_for_view(ChunkPos(9, 9), 5)) == [GLOBAL_DYCONIT]
         assert partitioner.chunk_of(GLOBAL_DYCONIT) is None

@@ -127,3 +127,49 @@ def test_merge_accumulates_hotness(system):
     system.commit_to(CHUNK_B, move(2))
     target = system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
     assert target.commit_count == 2
+
+
+def test_split_releases_only_its_own_sources(system):
+    """The reverse alias map keeps split O(sources of that target): other
+    targets' aliases are untouched and still resolve."""
+    other = ("region", 4, 9, 9)
+    chunk_c, chunk_d = ("chunk", 8, 8), ("chunk", 9, 8)
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    system.merge_dyconits([chunk_c, chunk_d], other)
+    released = system.split_dyconit(MERGED)
+    assert released == [CHUNK_A, CHUNK_B]  # merge order preserved
+    assert system.alias_count == 2
+    assert system.is_merged(chunk_c) and system.is_merged(chunk_d)
+    assert system.resolve(chunk_c) == other
+
+
+def test_split_after_chained_merge_releases_direct_sources(system):
+    """Merging a merged target into a third unit: splitting the outer
+    target releases the inner target (its only *direct* source), whose
+    own aliases keep routing through it."""
+    outer = ("region", 8, 0, 0)
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    system.merge_dyconits([MERGED], outer)
+    released = system.split_dyconit(outer)
+    assert released == [MERGED]
+    assert system.resolve(CHUNK_A) == MERGED  # inner aliases survive
+    assert not system.is_merged(MERGED)
+
+
+def test_split_without_merge_is_noop(system):
+    assert system.split_dyconit(MERGED) == []
+
+
+def test_merge_out_of_order_backlogs_flush_in_time_order(system):
+    """Backlogs moved across queues by a merge predate the target's own
+    pending updates; the flush must still deliver in commit-time order."""
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.subscribe(CHUNK_B, rec.subscriber)
+    system.commit_to(CHUNK_B, move(2, time=1.0))
+    system.commit_to(CHUNK_A, move(1, time=2.0))
+    # Merge A first so its (newer) backlog lands on the target before
+    # B's older one.
+    system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)
+    system.flush(MERGED, rec.subscriber.subscriber_id)
+    assert [update.time for update in rec.delivered_updates] == [1.0, 2.0]

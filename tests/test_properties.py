@@ -146,7 +146,10 @@ def test_pending_bounded_by_distinct_keys(moves):
 
 
 @given(st.lists(move_strategy, min_size=1, max_size=50))
-def test_drain_is_time_ordered_and_complete(moves):
+def test_drain_is_commit_ordered_and_complete(moves):
+    """Commits arrive with nondecreasing sim time; the sort-free drain
+    must hand them back complete and still time-ordered."""
+    moves = sorted(moves, key=lambda m: m[1])
     state = make_state(merging=False)
     for entity_id, time, distance in moves:
         state.enqueue(make_move(entity_id, time, distance))
@@ -155,6 +158,24 @@ def test_drain_is_time_ordered_and_complete(moves):
     times = [update.time for update in drained]
     assert times == sorted(times)
     assert not state.has_pending
+
+
+@given(st.lists(move_strategy, min_size=1, max_size=50))
+def test_drain_with_merging_preserves_commit_time_order(moves):
+    """With merging on, the survivor of each key takes its *latest*
+    commit position, so the drained batch is still time-ordered."""
+    moves = sorted(moves, key=lambda m: m[1])
+    state = make_state(merging=True)
+    for entity_id, time, distance in moves:
+        state.enqueue(make_move(entity_id, time, distance))
+    drained = state.drain()
+    times = [update.time for update in drained]
+    assert times == sorted(times)
+    # One survivor per distinct key: the newest update for that entity.
+    newest = {}
+    for entity_id, time, distance in moves:
+        newest[entity_id] = time
+    assert {u.entity_id: u.time for u in drained} == newest
 
 
 @given(st.lists(move_strategy, min_size=1, max_size=50))

@@ -127,6 +127,27 @@ def test_despawn_removes_from_chunk_index(world):
     assert world.entities_in_chunk(ChunkPos(0, 0)) == []
 
 
+def test_chunk_index_prunes_empty_buckets(world):
+    """A wandering entity must not leave an empty set behind for every
+    chunk it ever crossed (unbounded memory on trek workloads)."""
+    entity = world.spawn_entity(EntityKind.PLAYER, Vec3(0, 30, 0))
+    for step in range(1, 50):
+        world.move_entity(entity.entity_id, Vec3(16.0 * step, 30, 0))
+    assert len(world._entities_by_chunk) == 1
+    world.despawn_entity(entity.entity_id)
+    assert world._entities_by_chunk == {}
+
+
+def test_chunk_index_keeps_bucket_while_occupied(world):
+    a = world.spawn_entity(EntityKind.PLAYER, Vec3(0, 30, 0))
+    b = world.spawn_entity(EntityKind.COW, Vec3(1, 30, 1))
+    world.move_entity(a.entity_id, Vec3(20, 30, 0))
+    assert [e.entity_id for e in world.entities_in_chunk(ChunkPos(0, 0))] == [
+        b.entity_id
+    ]
+    assert len(world._entities_by_chunk) == 2
+
+
 def test_chat_emits_global_event(world, events):
     world.chat(sender_id=1, text="hello world")
     chats = [e for e in events if isinstance(e, ChatEvent)]
