@@ -1,0 +1,59 @@
+"""E9 — resilience under packet loss and session churn.
+
+Regenerates the fault/churn sweep: each policy runs the same seeded
+workload through the fault-injection layer (independent + bursty loss,
+latency spikes) while a churn schedule crashes and rejoins bots. The
+rows report egress bandwidth, fault-layer drops, reconnects, staleness
+and tick-rate degradation; the assertions pin the qualitative shape
+(zero-loss plans drop nothing, loss drops packets monotonically, churn
+produces reconnects, the server keeps ticking).
+"""
+
+import pytest
+
+from repro.experiments.figures import fault_churn_sweep
+
+
+@pytest.mark.benchmark(group="e9-faults", min_rounds=1, max_time=1.0, warmup=False)
+def test_e9_fault_churn_sweep(benchmark, scale):
+    loss_rates = (0.0, 0.01, 0.05)
+    result = benchmark.pedantic(
+        fault_churn_sweep,
+        kwargs=dict(
+            bots=scale["bots"],
+            duration_ms=scale["duration_ms"],
+            warmup_ms=scale["warmup_ms"],
+            loss_rates=loss_rates,
+            policies=("vanilla", "adaptive"),
+            churn=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    by_point = result["results"]
+    for policy in ("vanilla", "adaptive"):
+        # A zero-rate plan injects nothing...
+        assert by_point[(policy, 0.0)].packets_dropped == 0
+        # ...and higher configured loss drops strictly more packets.
+        drops = [by_point[(policy, loss)].packets_dropped for loss in loss_rates]
+        assert drops == sorted(drops)
+        assert drops[-1] > drops[1] > 0
+        # Churn produced full crash->rejoin cycles and the transport saw
+        # the rejoins as reconnects.
+        for loss in loss_rates:
+            point = by_point[(policy, loss)]
+            assert point.churn_crashes > 0
+            assert point.reconnects > 0
+            # The server kept ticking through faults and churn.
+            assert point.effective_tick_rate_hz > 10.0
+
+    # The dyconit mode keeps its bandwidth advantage under faults.
+    for loss in loss_rates:
+        vanilla = by_point[("vanilla", loss)]
+        adaptive = by_point[("adaptive", loss)]
+        assert (
+            adaptive.steady_bytes_per_second < vanilla.steady_bytes_per_second
+        )

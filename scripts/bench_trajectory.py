@@ -2,7 +2,7 @@
 """Record the fan-out wall-clock trajectory into BENCH_fanout.json.
 
 Usage: [PYTHONPATH=src] python scripts/bench_trajectory.py [--quick]
-           [--out PATH] [--bots N [N ...]]
+           [--out PATH] [--bots N [N ...]] [--faults]
 
 Runs the :mod:`repro.experiments.wallclock` suite (direct-mode broadcast
 scan vs indexed, entity-crossing handler scan vs indexed, interest
@@ -13,6 +13,11 @@ regressions are visible at regeneration time.
 
 ``--quick`` shrinks every op count ~10x (CI smoke; numbers are noisy,
 use only for crash detection).
+
+``--faults`` installs the fault-injection layer on every link with a
+null (all-zero-rate) plan. Compare the rows against a run without the
+flag to verify the layer costs nothing on the fan-out hot path when no
+faults are configured.
 """
 
 from __future__ import annotations
@@ -81,10 +86,17 @@ def main() -> None:
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_fanout.json")
     parser.add_argument("--bots", type=int, nargs="+", default=[50, 150])
+    parser.add_argument("--faults", action="store_true",
+                        help="run with a null FaultPlan on every link "
+                        "(overhead-when-disabled check)")
     args = parser.parse_args()
 
     scale = dict(events=200, crossings=100, refreshes=40, commits=2_000) if args.quick \
         else dict(events=2_000, crossings=1_000, refreshes=400, commits=20_000)
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        scale["faults"] = FaultPlan()
     payload = wallclock.run_suite(bot_counts=tuple(args.bots), **scale)
     payload["quick"] = args.quick
     payload["python"] = platform.python_version()

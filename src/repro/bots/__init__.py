@@ -18,7 +18,13 @@ from repro.bots.movement import (
     RandomWaypointModel,
     TrekModel,
 )
-from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+from repro.bots.workload import (
+    BehaviorMix,
+    ChurnSpec,
+    ChurnWorkload,
+    Workload,
+    WorkloadSpec,
+)
 
 __all__ = [
     "BotClient",
@@ -30,4 +36,6 @@ __all__ = [
     "Workload",
     "WorkloadSpec",
     "BehaviorMix",
+    "ChurnSpec",
+    "ChurnWorkload",
 ]

@@ -121,23 +121,41 @@ class BotClient:
         self.packets_received = 0
         self.blocks_placed = 0
         self.blocks_dug = 0
+        self.reconnects = 0
         self._act_event = None
 
     # ------------------------------------------------------------------
     # Connection lifecycle
     # ------------------------------------------------------------------
 
-    def connect(self, position: Vec3 | None = None) -> None:
+    def connect(
+        self, position: Vec3 | None = None, reuse_client_id: bool = False
+    ) -> None:
+        """(Re)connect. A reconnect models a fresh client process: the
+        perceived replica starts empty and is rebuilt purely from the
+        packets of the new session. ``reuse_client_id=True`` keeps the
+        previous client id (exercising the transport's connection
+        generations against in-flight packets from the old socket)."""
         if self.cancelled:
             return
         if self.connected:
             raise RuntimeError(f"bot {self.name} is already connected")
-        session = self.server.connect(self.name, handler=self.on_packet, position=position)
+        previous_id = self.client_id if reuse_client_id else None
+        self.perceived = PerceivedWorld()
+        self.waypoint = None
+        session = self.server.connect(
+            self.name,
+            handler=self.on_packet,
+            position=position,
+            client_id=previous_id,
+        )
         self.client_id = session.client_id
         self.entity_id = session.entity_id
         entity = self.server.world.get_entity(session.entity_id)
         self.position = entity.position
         self.connected = True
+        if previous_id is not None:
+            self.reconnects += 1
         self._schedule_act()
 
     def disconnect(self) -> None:

@@ -68,6 +68,42 @@ class WorkloadSpec:
             raise ValueError(f"unknown movement model {self.movement!r}")
 
 
+@dataclass(frozen=True, slots=True)
+class ChurnSpec:
+    """Seeded session-churn schedule (crash/rejoin).
+
+    Every churn step (roughly every ``interval_ms``, uniformly jittered
+    to stay aperiodic) one connected bot may *crash* — an abrupt
+    disconnect, no goodbye, pending updates dropped — and rejoins
+    ``rejoin_delay_ms`` later as a fresh client. The whole schedule is a
+    pure function of the workload seed.
+    """
+
+    interval_ms: float = 1_000.0
+    #: Probability a churn step crashes somebody (vs doing nothing).
+    crash_probability: float = 0.5
+    rejoin_delay_ms: float = 2_000.0
+    #: Never crash below this many connected bots.
+    min_connected: int = 1
+    #: Rejoin under the previous client id (exercises the transport's
+    #: connection generations); False joins under a fresh id.
+    reuse_client_ids: bool = True
+    #: Let the fleet settle before the first crash.
+    start_after_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise ValueError(f"churn interval must be positive, got {self.interval_ms}")
+        if not (0.0 <= self.crash_probability <= 1.0):
+            raise ValueError(
+                f"crash probability must be in [0, 1], got {self.crash_probability}"
+            )
+        if self.rejoin_delay_ms < 0 or self.start_after_ms < 0:
+            raise ValueError("rejoin delay and start offset must be >= 0")
+        if self.min_connected < 0:
+            raise ValueError(f"min_connected must be >= 0, got {self.min_connected}")
+
+
 class Workload:
     """A running bot fleet plus its measurement state."""
 
@@ -214,3 +250,69 @@ class Workload:
             for age in bot.replica_staleness_ms(now):
                 self.staleness_histogram.record(age)
         self.sim.schedule(self.spec.measure_interval_ms, self._measure)
+
+
+class ChurnWorkload(Workload):
+    """A bot fleet whose members crash and rejoin on a seeded schedule.
+
+    The crash path is deliberately brutal: the victim's socket just
+    closes (the server drops its pending updates, exactly like a player
+    whose client process died), and the rejoin is a from-scratch session
+    — the bot's perceived replica starts empty and the server rebuilds
+    view chunks, entity replicas, and dyconit subscriptions as for any
+    new player. With ``reuse_client_ids`` the rejoin also reuses the old
+    client id, which is what flushes out stale in-flight-packet bugs.
+    """
+
+    def __init__(
+        self, sim: Simulation, server, spec: WorkloadSpec,
+        churn: ChurnSpec | None = None,
+    ) -> None:
+        super().__init__(sim, server, spec)
+        self.churn = churn if churn is not None else ChurnSpec()
+        self._churn_rng = derive_rng(spec.seed, "workload", "churn")
+        self._churning = False
+        self.crashes = 0
+        self.rejoins = 0
+
+    def start(self) -> None:
+        super().start()
+        self._churning = True
+        self.sim.schedule(
+            self.churn.start_after_ms + self._next_interval(), self._churn_step
+        )
+
+    def stop(self) -> None:
+        self._churning = False
+        super().stop()
+
+    def _next_interval(self) -> float:
+        # Uniform in [0.5, 1.5) x interval: seeded but aperiodic, so churn
+        # never phase-locks with the tick or keepalive cadence.
+        return self.churn.interval_ms * (0.5 + self._churn_rng.random())
+
+    def _churn_step(self) -> None:
+        if not self._churning:
+            return
+        connected = [bot for bot in self.bots if bot.connected]
+        if (
+            len(connected) > self.churn.min_connected
+            and self._churn_rng.random() < self.churn.crash_probability
+        ):
+            victim = connected[self._churn_rng.randrange(len(connected))]
+            victim.disconnect()
+            self.crashes += 1
+            self.sim.schedule(self.churn.rejoin_delay_ms, self._make_rejoiner(victim))
+        self.sim.schedule(self._next_interval(), self._churn_step)
+
+    def _make_rejoiner(self, bot: BotClient):
+        def rejoin() -> None:
+            if not self._churning or bot.cancelled or bot.connected:
+                return
+            bot.connect(
+                self._spawn_position(),
+                reuse_client_id=self.churn.reuse_client_ids,
+            )
+            self.rejoins += 1
+
+        return rejoin

@@ -126,6 +126,12 @@ class DyconitSystem:
         dyconit = self._dyconits.pop(dyconit_id, None)
         if dyconit is None:
             return
+        # Removing a merge *target* releases its aliases: a later commit
+        # to a source id must create a fresh dyconit under that id, not
+        # resurrect an empty ghost under the removed target id (where it
+        # would be dropped with no subscribers).
+        for source_id in self._alias_sources.pop(dyconit_id, ()):
+            self._aliases.pop(source_id, None)
         for state in dyconit.subscription_states():
             if flush_pending and state.has_pending:
                 self._deliver(dyconit_id, state, reason="forced")

@@ -21,8 +21,10 @@ from repro.experiments.figures import (
     bandwidth_by_policy,
     capacity_sweep,
     dynamics_timeline,
+    fault_churn_sweep,
     inconsistency_by_policy,
     latency_by_policy,
+    make_fault_plan,
     policy_summary_table,
 )
 from repro.experiments.runner import ExperimentResult, run_experiment
@@ -42,4 +44,6 @@ __all__ = [
     "ablation_merging",
     "ablation_granularity",
     "ablation_policy_period",
+    "fault_churn_sweep",
+    "make_fault_plan",
 ]

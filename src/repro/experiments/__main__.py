@@ -61,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
         ("e8a", "ablation: update merging on/off"),
         ("e8b", "ablation: dyconit granularity"),
         ("e8c", "ablation: policy evaluation period"),
+        ("e9", "resilience: packet loss + session churn sweep"),
         ("all", "run every experiment above in sequence"),
     ):
         sub_parser = sub.add_parser(name, help=help_text)
@@ -111,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
             print(figures.ablation_granularity(**window)["table"])
         elif name == "e8c":
             print(figures.ablation_policy_period(**window)["table"])
+        elif name == "e9":
+            print(figures.fault_churn_sweep(**window)["table"])
         else:
             raise ValueError(f"unknown experiment {name!r}")
 
@@ -122,7 +125,7 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         if args.experiment == "all":
-            for name in ("e1", "e3", "e4", "e6", "e7", "e8a", "e8b", "e8c"):
+            for name in ("e1", "e3", "e4", "e6", "e7", "e8a", "e8b", "e8c", "e9"):
                 print(f"=== {name} ===")
                 run_one(name)
                 print()

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.bots.workload import BUILDER_MIX, BehaviorMix, WorkloadSpec
+from repro.bots.workload import BUILDER_MIX, BehaviorMix, ChurnSpec, WorkloadSpec
 from repro.core.bounds import Bounds
+from repro.faults.plan import FaultPlan
 from repro.core.partition import (
     ChunkPartitioner,
     DyconitPartitioner,
@@ -91,6 +92,10 @@ class ExperimentConfig:
     record_latencies: bool = False
     cost: CostCoefficients = field(default_factory=CostCoefficients)
     fixed_bounds: Bounds | None = None
+    #: Fleet-wide network fault plan (None = no fault layer at all).
+    faults: FaultPlan | None = None
+    #: Session churn schedule (None = stable population).
+    churn: ChurnSpec | None = None
 
     def __post_init__(self) -> None:
         if self.warmup_ms >= self.duration_ms:
@@ -115,6 +120,7 @@ class ExperimentConfig:
             mob_count=self.mob_count,
             synchronous_delivery=self.synchronous_delivery,
             cost=self.cost,
+            faults=self.faults,
             seed=self.seed,
         )
 

@@ -1,4 +1,4 @@
-"""Per-figure experiment drivers (E1..E8).
+"""Per-figure experiment drivers (E1..E9).
 
 Each function regenerates one table/figure of the evaluation: it runs the
 necessary experiment points and returns ``{"rows": [...], "table": str,
@@ -10,8 +10,10 @@ paper-vs-measured for each.
 
 from __future__ import annotations
 
+from repro.bots.workload import ChurnSpec
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.faults.plan import FaultPlan
 from repro.metrics.report import render_table
 
 #: Order policies appear in the figures. "adaptive-bw" (E1 only) is the
@@ -482,6 +484,107 @@ def ablation_granularity(
         title="E8(b) dyconit granularity ablation",
     )
     return {"rows": rows, "table": table}
+
+
+# ----------------------------------------------------------------------
+# E9 — resilience under network faults and session churn
+# ----------------------------------------------------------------------
+
+
+def make_fault_plan(loss_rate: float) -> FaultPlan:
+    """The standard E9 degraded-link plan at a given loss rate.
+
+    Zero loss returns a *null* plan (fault layer installed, injecting
+    nothing — the differential baseline). Non-zero rates add a bursty
+    component (Gilbert–Elliott) and occasional latency spikes on top of
+    the independent loss, modelling the congested/wireless links the
+    paper's real-network numbers implicitly include.
+    """
+    if loss_rate == 0.0:
+        return FaultPlan()
+    return FaultPlan(
+        loss_rate=loss_rate,
+        burst_loss_rate=0.5,
+        p_good_to_bad=loss_rate / 2.0,
+        p_bad_to_good=0.25,
+        spike_probability=0.02,
+        spike_ms=150.0,
+    )
+
+
+def fault_churn_sweep(
+    bots: int = 60,
+    duration_ms: float = 20_000.0,
+    warmup_ms: float = 8_000.0,
+    seed: int = 42,
+    loss_rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+    policies: tuple[str, ...] = ("vanilla", "adaptive"),
+    churn: bool = True,
+) -> dict:
+    """E9: loss x churn sweep across direct vs dyconit modes.
+
+    For each (policy, loss rate) point the same seeded workload runs with
+    the fault layer installed and (optionally) session churn enabled;
+    rows report egress bandwidth, delivered-update staleness, tick-rate
+    degradation, fault-layer drops, and reconnects. The dyconit modes
+    must keep their bandwidth advantage under faults, and faulty runs at
+    one seed are bit-identical across repetitions (see the determinism
+    tests).
+    """
+    # Churn timing scales with the run so short smoke runs still see
+    # full crash->rejoin cycles inside the window.
+    churn_spec = (
+        ChurnSpec(
+            interval_ms=min(1_500.0, duration_ms / 8.0),
+            rejoin_delay_ms=min(2_500.0, duration_ms / 6.0),
+            start_after_ms=min(warmup_ms / 2.0, 5_000.0),
+        )
+        if churn
+        else None
+    )
+    rows = []
+    results: dict[tuple[str, float], ExperimentResult] = {}
+    for policy in policies:
+        for loss in loss_rates:
+            config = ExperimentConfig(
+                name=f"e9-{policy}-loss{loss:g}",
+                policy=policy,
+                bots=bots,
+                duration_ms=duration_ms,
+                warmup_ms=warmup_ms,
+                seed=seed,
+                faults=make_fault_plan(loss),
+                churn=churn_spec,
+            )
+            result = run_experiment(config)
+            results[(policy, loss)] = result
+            sent = max(1, result.packets_total)
+            rows.append(
+                {
+                    "policy": policy,
+                    "loss %": 100.0 * loss,
+                    "kB/s": result.steady_bytes_per_second / 1e3,
+                    "dropped": result.packets_dropped,
+                    "drop %": 100.0 * result.packets_dropped / sent,
+                    "reconnects": result.reconnects,
+                    "stale p99 ms": result.staleness_p99_ms,
+                    "tick Hz": result.effective_tick_rate_hz,
+                }
+            )
+    table = render_table(
+        ["policy", "loss %", "kB/s", "dropped", "drop %", "reconnects",
+         "stale p99 ms", "tick Hz"],
+        [
+            [r["policy"], r["loss %"], r["kB/s"], r["dropped"], r["drop %"],
+             r["reconnects"], r["stale p99 ms"], r["tick Hz"]]
+            for r in rows
+        ],
+        title=(
+            f"E9 faults & churn ({bots} bots, churn "
+            f"{'on' if churn else 'off'})"
+        ),
+    )
+    return {"rows": rows, "table": table, "results": results}
 
 
 def ablation_policy_period(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bots.workload import Workload
+from repro.bots.workload import ChurnWorkload, Workload
 from repro.experiments.configs import ExperimentConfig, make_partitioner
 from repro.metrics.summary import Summary, describe
 from repro.server.engine import GameServer
@@ -46,8 +46,15 @@ class ExperimentResult:
     staleness_p50_ms: float = 0.0
     staleness_p99_ms: float = 0.0
 
-    # Network latency (only when config.record_latencies).
+    # Network latency (exact when config.record_latencies, reservoir-
+    # sampled otherwise).
     packet_latency: Summary = field(default_factory=lambda: describe([]))
+
+    # Fault layer & churn (E9).
+    packets_dropped: int = 0
+    reconnects: int = 0
+    churn_crashes: int = 0
+    churn_rejoins: int = 0
 
     # Timelines for the dynamics figure.
     bandwidth_timeline: list[tuple[float, float]] = field(default_factory=list)
@@ -108,7 +115,12 @@ def run_experiment(
     server.transport.record_latencies = config.record_latencies
     server.start()
 
-    workload = Workload(sim, server, config.build_workload_spec())
+    if config.churn is not None:
+        workload: Workload = ChurnWorkload(
+            sim, server, config.build_workload_spec(), churn=config.churn
+        )
+    else:
+        workload = Workload(sim, server, config.build_workload_spec())
     workload.start()
 
     if hooks:
@@ -171,6 +183,12 @@ def collect_result(
 
     if config.record_latencies:
         result.packet_latency = describe(transport.latencies_ms)
+
+    result.packets_dropped = transport.packets_dropped
+    result.reconnects = transport.reconnect_count
+    if isinstance(workload, ChurnWorkload):
+        result.churn_crashes = workload.crashes
+        result.churn_rejoins = workload.rejoins
 
     result.bandwidth_timeline = _rate_timeline(bytes_series)
     player_series = server.metrics.series("player_count")

@@ -33,6 +33,7 @@ from repro.core.bounds import Bounds
 from repro.core.manager import DyconitSystem
 from repro.core.policy import Policy
 from repro.core.subscription import Subscriber
+from repro.faults.plan import FaultPlan
 from repro.server.config import ServerConfig
 from repro.server.engine import GameServer
 from repro.sim.simulator import Simulation
@@ -106,14 +107,24 @@ def _disc_position(rng: random.Random, world: World, radius: float) -> Vec3:
     )
 
 
-def build_fanout_scenario(bots: int, seed: int = 7, movers: int = MOVERS):
+def build_fanout_scenario(
+    bots: int, seed: int = 7, movers: int = MOVERS,
+    faults: FaultPlan | None = None,
+):
     """A steady-state direct-mode server: ``bots`` sessions and ``movers``
-    mob entities spread over the same disc. Returns (server, movers)."""
+    mob entities spread over the same disc. Returns (server, movers).
+
+    ``faults`` installs the fault layer on every link (a null
+    :class:`FaultPlan` exercises the layer's dispatch with zero rates —
+    the configuration the "zero overhead when disabled" trajectory
+    numbers compare against)."""
     sim = Simulation()
     server = GameServer(
         sim,
         world=World(seed=seed),
-        config=ServerConfig(seed=seed, synchronous_delivery=True, mob_count=0),
+        config=ServerConfig(
+            seed=seed, synchronous_delivery=True, mob_count=0, faults=faults
+        ),
         direct_mode=True,
     )
     server.start()
@@ -160,9 +171,12 @@ def _steady_move_events(server: GameServer, mover_entities, count: int):
 # ----------------------------------------------------------------------
 
 
-def bench_direct_broadcast(bots: int, events: int = 2_000, seed: int = 7):
+def bench_direct_broadcast(
+    bots: int, events: int = 2_000, seed: int = 7,
+    faults: FaultPlan | None = None,
+):
     """Scan vs indexed rows for the vanilla broadcast path."""
-    server, movers = build_fanout_scenario(bots, seed=seed)
+    server, movers = build_fanout_scenario(bots, seed=seed, faults=faults)
     batch = _steady_move_events(server, movers, events)
     rows = []
     for impl, broadcast in (
@@ -182,14 +196,17 @@ def bench_direct_broadcast(bots: int, events: int = 2_000, seed: int = 7):
     return rows
 
 
-def bench_entity_crossing(bots: int, crossings: int = 1_000, seed: int = 7):
+def bench_entity_crossing(
+    bots: int, crossings: int = 1_000, seed: int = 7,
+    faults: FaultPlan | None = None,
+):
     """Scan vs indexed rows for the chunk-border interest handler.
 
     Alternates a synthetic crossing of each mover between its own chunk
     and the next one over; replica state cycles, so both impls do the
     same spawn/destroy work every round.
     """
-    server, movers = build_fanout_scenario(bots, seed=seed)
+    server, movers = build_fanout_scenario(bots, seed=seed, faults=faults)
     interest = server.interest
     plans = []
     for entity in movers:
@@ -213,10 +230,13 @@ def bench_entity_crossing(bots: int, crossings: int = 1_000, seed: int = 7):
     return rows
 
 
-def bench_interest_refresh(bots: int, refreshes: int = 400, seed: int = 7):
+def bench_interest_refresh(
+    bots: int, refreshes: int = 400, seed: int = 7,
+    faults: FaultPlan | None = None,
+):
     """One player ping-pongs across a chunk border; each refresh restreams
     the view edge and updates the viewer index. Shared by both impls."""
-    server, __ = build_fanout_scenario(bots, seed=seed)
+    server, __ = build_fanout_scenario(bots, seed=seed, faults=faults)
     session = next(iter(server.sessions.values()))
     entity = server.world.get_entity(session.entity_id)
     origin = entity.position
@@ -281,13 +301,20 @@ def bench_dyconit_commit_flush(subscribers: int, commits: int = 20_000):
 def run_suite(
     bot_counts=(50, 150), events: int = 2_000, crossings: int = 1_000,
     refreshes: int = 400, commits: int = 20_000, seed: int = 7,
+    faults: FaultPlan | None = None,
 ) -> dict:
     """Run every bench at each fleet size; returns the BENCH_fanout payload."""
     rows: list[BenchRow] = []
     for bots in bot_counts:
-        rows.extend(bench_direct_broadcast(bots, events=events, seed=seed))
-        rows.extend(bench_entity_crossing(bots, crossings=crossings, seed=seed))
-        rows.extend(bench_interest_refresh(bots, refreshes=refreshes, seed=seed))
+        rows.extend(
+            bench_direct_broadcast(bots, events=events, seed=seed, faults=faults)
+        )
+        rows.extend(
+            bench_entity_crossing(bots, crossings=crossings, seed=seed, faults=faults)
+        )
+        rows.extend(
+            bench_interest_refresh(bots, refreshes=refreshes, seed=seed, faults=faults)
+        )
     rows.extend(bench_dyconit_commit_flush(50, commits=commits))
     speedups = {}
     by_key = {(row.bench, row.impl, row.bots): row for row in rows}
@@ -309,6 +336,7 @@ def run_suite(
             "commits": commits,
             "seed": seed,
             "spread_radius": SPREAD_RADIUS,
+            "faults": None if faults is None else repr(faults),
         },
         "rows": [row.to_dict() for row in rows],
         "speedups": speedups,

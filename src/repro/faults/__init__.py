@@ -1,0 +1,24 @@
+"""Fault-injection subsystem (S13).
+
+Deterministic network faults and session churn for resilience
+experiments. A :class:`FaultPlan` describes what goes wrong on a client's
+downstream link — independent packet loss, bursty loss (a Gilbert–Elliott
+two-state chain), latency spikes, and bandwidth-degradation windows — and
+a :class:`FaultyLink` applies it to the existing
+:class:`~repro.net.link.ClientLink` pipe model.
+
+Every random decision is drawn from an RNG derived with
+:func:`~repro.sim.rng.derive_rng` from the experiment seed and the client
+id, so the same seed produces the same drops, spikes, and degradations,
+packet for packet. A zero-rate plan is behaviourally identical to having
+no fault layer at all (asserted by a differential test).
+
+Session churn lives in :class:`repro.bots.workload.ChurnWorkload`; the E9
+experiment (:func:`repro.experiments.figures.fault_churn_sweep`) sweeps
+both axes.
+"""
+
+from repro.faults.link import FaultyLink
+from repro.faults.plan import DegradedWindow, FaultPlan
+
+__all__ = ["FaultPlan", "DegradedWindow", "FaultyLink"]

@@ -63,19 +63,55 @@ class ClientLink:
         self.config = config
         #: Simulated time at which the pipe finishes its current backlog.
         self._busy_until = 0.0
+        #: Delivery time of the most recent packet; later packets are
+        #: clamped to it so per-packet jitter can never reorder the link
+        #: (the FIFO-per-link contract the transport documents).
+        self._last_delivery_time = 0.0
         self.stats = LinkStats()
         #: Optional callable returning jitter in ms (seeded per client).
         self._jitter = jitter
 
-    def transmit(self, packet: Packet, now: float) -> float:
-        """Account for ``packet`` leaving now; return its delivery time."""
+    def transmit(self, packet: Packet, now: float) -> float | None:
+        """Account for ``packet`` leaving now; return its delivery time.
+
+        Returns ``None`` when the packet is lost on the wire (only
+        :class:`~repro.faults.link.FaultyLink` does this). The bytes are
+        still accounted — the server transmitted them; the drop happens
+        downstream of its egress.
+        """
         size = packet.wire_size()
         self.stats.record(packet, size)
-        serialization_ms = size * 8.0 / self.config.bandwidth_bps * 1000.0
+        serialization_ms = size * 8.0 / self.bandwidth_at(now) * 1000.0
         start = max(now, self._busy_until)
         self._busy_until = start + serialization_ms
+        if self.consume_drop(now):
+            return None
         jitter_ms = self._jitter() if self._jitter is not None else 0.0
-        return self._busy_until + self.config.latency_ms + jitter_ms
+        delivery = (
+            self._busy_until + self.config.latency_ms + jitter_ms
+            + self.extra_delay_ms(now)
+        )
+        # Monotonic clamp: a smaller jitter draw on a later packet must
+        # not let it leapfrog an earlier one. Equal times preserve send
+        # order (the event queue breaks ties in scheduling order).
+        if delivery < self._last_delivery_time:
+            delivery = self._last_delivery_time
+        self._last_delivery_time = delivery
+        return delivery
+
+    # -- fault-layer hooks (no-ops on a healthy link) -------------------
+
+    def bandwidth_at(self, now: float) -> float:
+        """Effective serialization bandwidth at ``now`` in bits/s."""
+        return self.config.bandwidth_bps
+
+    def consume_drop(self, now: float) -> bool:
+        """Decide whether the packet just serialized is lost."""
+        return False
+
+    def extra_delay_ms(self, now: float) -> float:
+        """Additional one-off delay (latency spikes) for this packet."""
+        return 0.0
 
     def queueing_delay(self, now: float) -> float:
         """Backlog currently waiting ahead of a new packet, in ms."""

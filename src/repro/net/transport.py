@@ -8,9 +8,12 @@ accounting. Receivers register a callback invoked at delivery time with a
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.faults.link import FaultyLink
+from repro.faults.plan import FaultPlan
 from repro.net.link import ClientLink, LinkConfig
 from repro.net.protocol import Packet
 from repro.sim.rng import derive_rng
@@ -34,6 +37,35 @@ class DeliveredPacket:
 PacketHandler = Callable[[DeliveredPacket], None]
 
 
+class LatencyReservoir:
+    """Bounded uniform sample of per-packet latencies (Algorithm R).
+
+    Long capacity sweeps send tens of millions of packets; keeping every
+    latency grows without bound. The reservoir keeps a fixed-size uniform
+    sample whose quantiles converge to the exact ones, and draws its
+    replacement indices from a seeded RNG so two same-seed runs keep
+    identical samples.
+    """
+
+    def __init__(self, capacity: int, rng: random.Random) -> None:
+        if capacity <= 0:
+            raise ValueError(f"reservoir capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = rng
+        self.samples: list[float] = []
+        #: Total values offered (kept samples + displaced ones).
+        self.count = 0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self.samples[slot] = value
+
+
 class Transport:
     """Server-side packet egress for all connected clients."""
 
@@ -44,6 +76,8 @@ class Transport:
         seed: int = 0,
         synchronous_delivery: bool = False,
         telemetry: Telemetry | None = None,
+        faults: FaultPlan | None = None,
+        latency_sample_cap: int = 4096,
     ) -> None:
         self.sim = sim
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -52,10 +86,17 @@ class Transport:
             self._tm_latency = self.telemetry.histogram(
                 "link_delivery_latency_ms", min_value=0.1
             )
+            self._tm_dropped = self.telemetry.counter("faults_packets_dropped_total")
+            self._tm_reconnects = self.telemetry.counter("reconnects_total")
         else:
             self._tm_sent = None
             self._tm_latency = None
+            self._tm_dropped = None
+            self._tm_reconnects = None
         self.default_link = default_link if default_link is not None else LinkConfig()
+        #: Fleet-wide fault plan applied to every link unless a per-client
+        #: plan is passed to :meth:`connect`. ``None`` = no fault layer.
+        self.default_faults = faults
         self.seed = seed
         #: When True, handlers run at send time (latency is still computed
         #: and recorded) instead of via a scheduled event per packet. Large
@@ -64,13 +105,50 @@ class Transport:
         self.synchronous_delivery = synchronous_delivery
         self._links: dict[int, ClientLink] = {}
         self._handlers: dict[int, PacketHandler] = {}
+        #: Connection generation per client id, bumped on every connect.
+        #: In-flight deliveries carry the generation they were sent under
+        #: so a packet from a closed connection can never reach a later
+        #: connection that reused the same client id.
+        self._generations: dict[int, int] = {}
         #: Stats of links whose clients have disconnected, kept so fleet
         #: totals survive churny workloads (e.g. the E6 player burst).
         self._closed_stats: list = []
-        #: Per-packet latencies (ms) observed across all clients; the E4
-        #: latency experiment reads this.
-        self.latencies_ms: list[float] = []
-        self.record_latencies = True
+        #: When True, record *every* latency exactly (the E4 latency runs
+        #: need exact percentiles); otherwise latencies go into a bounded
+        #: seeded reservoir so long sweeps cannot grow without bound.
+        self.record_latencies = False
+        self._exact_latencies: list[float] = []
+        self._latency_reservoir = LatencyReservoir(
+            latency_sample_cap, derive_rng(seed, "latency-reservoir")
+        )
+        #: Packets the fault layer lost across all links, disconnected
+        #: ones included.
+        self.packets_dropped = 0
+        #: Connections that reused a previously seen client id.
+        self.reconnect_count = 0
+
+    @property
+    def latencies_ms(self) -> list[float]:
+        """Observed per-packet latencies: exact in E4 mode
+        (``record_latencies``), a bounded uniform sample otherwise."""
+        if self.record_latencies:
+            return self._exact_latencies
+        return self._latency_reservoir.samples
+
+    @property
+    def latency_sample_count(self) -> int:
+        """How many latencies were *observed* (>= len(latencies_ms))."""
+        if self.record_latencies:
+            return len(self._exact_latencies)
+        return self._latency_reservoir.count
+
+    def _record_latency(self, latency_ms: float) -> None:
+        if self.record_latencies:
+            self._exact_latencies.append(latency_ms)
+        else:
+            self._latency_reservoir.record(latency_ms)
+        if self._tm_latency is not None:
+            self._tm_latency.record(latency_ms)
 
     # ------------------------------------------------------------------
     # Connections
@@ -81,8 +159,14 @@ class Transport:
         client_id: int,
         handler: PacketHandler,
         link: LinkConfig | None = None,
+        faults: FaultPlan | None = None,
     ) -> ClientLink:
-        """Register a client; returns its link."""
+        """Register a client; returns its link.
+
+        ``faults`` overrides the transport's fleet-wide plan for this one
+        client (a null :class:`FaultPlan` still installs the fault layer —
+        useful for overhead measurements; it injects nothing).
+        """
         if client_id in self._links:
             raise ValueError(f"client {client_id} is already connected")
         config = link if link is not None else self.default_link
@@ -91,7 +175,23 @@ class Transport:
             rng = derive_rng(self.seed, "link-jitter", client_id)
             jitter_span = config.jitter_ms
             jitter = lambda: rng.random() * jitter_span  # noqa: E731
-        client_link = ClientLink(client_id, config, jitter=jitter)
+        plan = faults if faults is not None else self.default_faults
+        if plan is not None:
+            client_link: ClientLink = FaultyLink(
+                client_id,
+                config,
+                plan,
+                derive_rng(self.seed, "faults", client_id),
+                jitter=jitter,
+            )
+        else:
+            client_link = ClientLink(client_id, config, jitter=jitter)
+        generation = self._generations.get(client_id, 0) + 1
+        self._generations[client_id] = generation
+        if generation > 1:
+            self.reconnect_count += 1
+            if self._tm_reconnects is not None:
+                self._tm_reconnects.increment()
         self._links[client_id] = client_link
         self._handlers[client_id] = handler
         return client_link
@@ -120,31 +220,38 @@ class Transport:
             return  # client raced a disconnect; drop silently like a closed socket
         now = self.sim.now
         delivery_time = link.transmit(packet, now)
-        handler = self._handlers[client_id]
         if self._tm_sent is not None:
             self._tm_sent.increment()
+        if delivery_time is None:
+            # Lost on the wire by the fault layer. Bytes were already
+            # accounted (the server did transmit them); nothing arrives.
+            self.packets_dropped += 1
+            if self._tm_dropped is not None:
+                self._tm_dropped.increment()
+            return
+        handler = self._handlers[client_id]
 
         if self.synchronous_delivery:
             delivered = DeliveredPacket(
                 packet=packet, sent_at=now, delivered_at=delivery_time
             )
-            if self.record_latencies:
-                self.latencies_ms.append(delivered.latency_ms)
-            if self._tm_latency is not None:
-                self._tm_latency.record(delivered.latency_ms)
+            self._record_latency(delivered.latency_ms)
             handler(delivered)
             return
+
+        generation = self._generations.get(client_id, 0)
 
         def deliver() -> None:
             if not self.is_connected(client_id):
                 return
+            if self._generations.get(client_id, 0) != generation:
+                # The sending connection closed and the client id was
+                # reused; this packet belongs to the dead socket.
+                return
             delivered = DeliveredPacket(
                 packet=packet, sent_at=now, delivered_at=self.sim.now
             )
-            if self.record_latencies:
-                self.latencies_ms.append(delivered.latency_ms)
-            if self._tm_latency is not None:
-                self._tm_latency.record(delivered.latency_ms)
+            self._record_latency(delivered.latency_ms)
             handler(delivered)
 
         self.sim.schedule_at(delivery_time, deliver)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.plan import FaultPlan
 from repro.net.link import LinkConfig
 from repro.server.costmodel import CostCoefficients
 
@@ -34,6 +35,9 @@ class ServerConfig:
     #: kept for differential tests and the wall-clock benchmark; the two
     #: are packet-for-packet identical.
     use_viewer_index: bool = True
+    #: Fleet-wide fault plan applied to every client link (None = no
+    #: fault layer; per-client plans can be passed to ``connect``).
+    faults: FaultPlan | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Hashable, Sequence
 
 from repro.core.manager import DyconitSystem
+from repro.faults.plan import FaultPlan
 from repro.core.partition import ChunkPartitioner, DyconitPartitioner
 from repro.core.policy import LoadSignals, Policy
 from repro.core.subscription import Subscriber
@@ -78,6 +79,7 @@ class GameServer:
             seed=self.config.seed,
             synchronous_delivery=self.config.synchronous_delivery,
             telemetry=self.telemetry,
+            faults=self.config.faults,
         )
         self.codec = SessionCodec(self.world)
         self.interest = InterestManager(self)
@@ -114,6 +116,7 @@ class GameServer:
         self._smoothed_bytes_per_s = 0.0
         self._last_keepalive = 0.0
         self._running = False
+        self._tick_event = None
 
         self.world.time_source = lambda: sim.now
         self.world.add_listener(self._on_world_event)
@@ -123,15 +126,26 @@ class GameServer:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn ambient mobs and schedule the first tick."""
+        """Spawn ambient mobs and schedule the first tick.
+
+        Restart-safe: mobs are only spawned once per server, and any tick
+        still scheduled from a previous start/stop cycle is superseded so
+        a restarted server never ticks at double speed.
+        """
         if self._running:
             raise RuntimeError("server already started")
         self._running = True
-        self._spawn_mobs()
-        self.sim.schedule(self.config.tick_interval_ms, self._tick)
+        if not self._mob_ids:
+            self._spawn_mobs()
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+        self._tick_event = self.sim.schedule(self.config.tick_interval_ms, self._tick)
 
     def stop(self) -> None:
         self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
 
     # ------------------------------------------------------------------
     # Connections
@@ -144,15 +158,27 @@ class GameServer:
         position: Vec3 | None = None,
         link: LinkConfig | None = None,
         view_distance: int | None = None,
+        client_id: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> PlayerSession:
         """Connect a new player; returns its session.
 
         ``handler`` receives every delivered packet (the bot client's
-        inbound side).
+        inbound side). ``client_id`` lets a *rejoining* client reuse its
+        previous id (a fresh session is still built from scratch —
+        ``known_entities``, ``view_chunks`` and dyconit subscriptions all
+        start empty; the transport's generation tag keeps in-flight
+        packets from the old connection away from the new one). ``faults``
+        installs a per-client fault plan on the new link.
         """
-        client_id = self._next_client_id
-        self._next_client_id += 1
-        self.transport.connect(client_id, handler, link)
+        if client_id is None:
+            client_id = self._next_client_id
+            self._next_client_id += 1
+        else:
+            if client_id in self.sessions:
+                raise ValueError(f"client {client_id} is already connected")
+            self._next_client_id = max(self._next_client_id, client_id + 1)
+        self.transport.connect(client_id, handler, link, faults=faults)
 
         if position is None:
             position = self.world.surface_position(8.0, 8.0)
@@ -419,7 +445,7 @@ class GameServer:
         # 7. Schedule the next tick. An overloaded tick pushes the next
         #    one out, dropping the effective tick rate below 20 Hz.
         delay = max(self.config.tick_interval_ms, duration)
-        self.sim.schedule(delay, self._tick)
+        self._tick_event = self.sim.schedule(delay, self._tick)
 
     def load_signals(self, last_tick_duration_ms: float | None = None) -> LoadSignals:
         return LoadSignals(

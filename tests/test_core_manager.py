@@ -296,3 +296,42 @@ def test_queue_delay_accounting(clock):
     clock.now = 100.0
     system.tick()
     assert system.stats.mean_queue_delay_ms == pytest.approx(100.0)
+
+
+def test_remove_merge_target_releases_its_aliases(clock):
+    system = make_system(clock, bounds=Bounds.ZERO)
+    rec = RecordingSubscriber()
+    a, b, target = ("chunk", 0, 0), ("chunk", 1, 0), ("region", 0, 0)
+    system.subscribe(a, rec.subscriber)
+    system.merge_dyconits([a, b], target)
+    assert system.is_merged(a) and system.is_merged(b)
+
+    system.remove_dyconit(target)
+
+    # The aliases died with the target...
+    assert not system.is_merged(a)
+    assert not system.is_merged(b)
+    assert system.alias_count == 0
+    assert system.resolve(a) == a
+    # ...so a commit under a source id builds a fresh dyconit there
+    # instead of resurrecting a subscriber-less ghost under the target.
+    fresh = RecordingSubscriber(2)
+    system.subscribe(a, fresh.subscriber)
+    system.commit(move())
+    assert len(fresh.delivered_updates) == 1
+    assert system.get(a) is not None
+    assert system.get(target) is None
+
+
+def test_remove_merge_target_then_remerge_works(clock):
+    system = make_system(clock, bounds=Bounds.ZERO)
+    a, target = ("chunk", 0, 0), ("region", 0, 0)
+    system.merge_dyconits([a], target)
+    system.remove_dyconit(target)
+    # Stale reverse-map entries would make this second merge corrupt
+    # the alias maps; it must behave exactly like a first merge.
+    system.merge_dyconits([a], target)
+    assert system.resolve(a) == target
+    system.split_dyconit(target)
+    assert system.resolve(a) == a
+    assert system.alias_count == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the fault-injecting link."""
+
+import random
+
+import pytest
+
+from repro.faults import DegradedWindow, FaultPlan, FaultyLink
+from repro.net.link import LinkConfig
+from repro.net.protocol import KeepAlivePacket
+
+
+def make_link(plan: FaultPlan, seed: int = 7, **config) -> FaultyLink:
+    config.setdefault("bandwidth_bps", 8000.0)  # 1 byte/ms
+    config.setdefault("latency_ms", 10.0)
+    return FaultyLink(1, LinkConfig(**config), plan, random.Random(seed))
+
+
+def transmit_spaced(link: FaultyLink, count: int, spacing_ms: float = 100.0):
+    """``count`` idle-link transmissions; returns the delivery times."""
+    packet = KeepAlivePacket()
+    return [link.transmit(packet, now=index * spacing_ms) for index in range(count)]
+
+
+def test_null_plan_behaves_like_plain_link():
+    link = make_link(FaultPlan())
+    deliveries = transmit_spaced(link, 50)
+    assert all(delivery is not None for delivery in deliveries)
+    assert link.packets_dropped == 0
+    packet = KeepAlivePacket()
+    # Exact same arithmetic as the base link: latency + serialization.
+    assert deliveries[0] == pytest.approx(10.0 + packet.wire_size())
+
+
+def test_independent_loss_is_seeded_and_deterministic():
+    first = transmit_spaced(make_link(FaultPlan(loss_rate=0.3), seed=11), 300)
+    second = transmit_spaced(make_link(FaultPlan(loss_rate=0.3), seed=11), 300)
+    assert first == second
+    drops = sum(1 for delivery in first if delivery is None)
+    assert 40 < drops < 140  # ~90 expected; generous seeded bounds
+
+    different_seed = transmit_spaced(make_link(FaultPlan(loss_rate=0.3), seed=12), 300)
+    assert different_seed != first
+
+
+def test_dropped_packets_still_count_as_egress_bytes():
+    link = make_link(FaultPlan(loss_rate=1.0))
+    deliveries = transmit_spaced(link, 10)
+    assert deliveries == [None] * 10
+    assert link.packets_dropped == 10
+    # The server transmitted them; the wire ate them downstream.
+    assert link.stats.packets == 10
+    assert link.stats.bytes == 10 * KeepAlivePacket().wire_size()
+
+
+def test_gilbert_elliott_losses_cluster_into_bursts():
+    # Rare entry into BAD, sticky once there, certain loss while BAD:
+    # drops must appear as runs, not as isolated singletons.
+    plan = FaultPlan(p_good_to_bad=0.02, p_bad_to_good=0.2, burst_loss_rate=1.0)
+    link = make_link(plan, seed=3)
+    deliveries = transmit_spaced(link, 2_000)
+    drops = [delivery is None for delivery in deliveries]
+    total = sum(drops)
+    assert total > 50  # the chain does enter BAD
+
+    runs = []
+    current = 0
+    for dropped in drops:
+        if dropped:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    # Mean burst length ~ 1/p_bad_to_good = 5; far above independent loss.
+    assert sum(runs) / len(runs) > 2.0
+
+
+def test_burst_state_is_observable():
+    plan = FaultPlan(p_good_to_bad=1.0, p_bad_to_good=0.0, burst_loss_rate=0.5)
+    link = make_link(plan)
+    assert not link.in_burst
+    link.transmit(KeepAlivePacket(), now=0.0)
+    assert link.in_burst  # certain transition on the first packet
+
+
+def test_latency_spikes_delay_surviving_packets():
+    # Spacing > spike_ms so the FIFO clamp never couples adjacent
+    # packets and each spike shows up in isolation.
+    baseline = transmit_spaced(make_link(FaultPlan(), seed=5), 200, spacing_ms=500.0)
+    spiky = transmit_spaced(
+        make_link(FaultPlan(spike_probability=0.2, spike_ms=150.0), seed=5),
+        200,
+        spacing_ms=500.0,
+    )
+    extras = {
+        spiked - base for base, spiked in zip(baseline, spiky)
+    }
+    # Every packet is either on time or exactly one spike late.
+    assert extras == {0.0, 150.0}
+
+
+def test_degraded_window_throttles_serialization():
+    plan = FaultPlan(degraded_windows=(DegradedWindow(1_000.0, 2_000.0, 0.25),))
+    link = make_link(plan)
+    packet = KeepAlivePacket()
+    healthy = link.transmit(packet, now=0.0) - 0.0
+    degraded = link.transmit(packet, now=1_500.0) - 1_500.0
+    recovered = link.transmit(packet, now=3_000.0) - 3_000.0
+    # 4x less bandwidth = 4x the serialization delay, latency unchanged.
+    assert degraded - 10.0 == pytest.approx(4 * (healthy - 10.0))
+    assert recovered == pytest.approx(healthy)
+
+
+def test_fifo_order_holds_under_spikes_and_jitter():
+    jitter_rng = random.Random(99)
+    link = FaultyLink(
+        1,
+        LinkConfig(bandwidth_bps=1e9, latency_ms=10.0, jitter_ms=200.0),
+        FaultPlan(spike_probability=0.3, spike_ms=500.0),
+        random.Random(42),
+        jitter=lambda: jitter_rng.uniform(0.0, 200.0),
+    )
+    packet = KeepAlivePacket()
+    deliveries = [link.transmit(packet, now=float(index)) for index in range(500)]
+    assert deliveries == sorted(deliveries)

@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.faults.plan import FaultPlan
 from repro.net.link import LinkConfig
 from repro.net.protocol import ChatMessagePacket, KeepAlivePacket
-from repro.net.transport import Transport
+from repro.net.transport import LatencyReservoir, Transport
+from repro.sim.rng import derive_rng
 
 
 @pytest.fixture
@@ -70,12 +72,55 @@ def test_latency_recording(sim, transport):
     assert all(latency >= 20.0 for latency in transport.latencies_ms)
 
 
-def test_latency_recording_can_be_disabled(sim, transport):
-    transport.record_latencies = False
+def test_latency_reservoir_mode_is_bounded(sim):
+    # Default mode samples into a bounded reservoir instead of growing a
+    # list forever (the E4 exact mode opts in via record_latencies).
+    transport = Transport(
+        sim, LinkConfig(bandwidth_bps=1e9, latency_ms=20.0), latency_sample_cap=16
+    )
     transport.connect(1, lambda d: None)
-    transport.send(1, KeepAlivePacket())
+    for _ in range(200):
+        transport.send(1, KeepAlivePacket())
     sim.run()
-    assert transport.latencies_ms == []
+    assert len(transport.latencies_ms) == 16
+    assert transport.latency_sample_count == 200
+
+
+def test_exact_mode_keeps_every_latency(sim):
+    transport = Transport(
+        sim, LinkConfig(bandwidth_bps=1e9, latency_ms=20.0), latency_sample_cap=16
+    )
+    transport.record_latencies = True
+    transport.connect(1, lambda d: None)
+    for _ in range(50):
+        transport.send(1, KeepAlivePacket())
+    sim.run()
+    assert len(transport.latencies_ms) == 50
+
+
+def test_latency_reservoir_is_seeded_and_deterministic():
+    def sample(seed: int) -> list[float]:
+        reservoir = LatencyReservoir(32, derive_rng(seed, "latency-reservoir"))
+        for value in range(1000):
+            reservoir.record(float(value))
+        return list(reservoir.samples)
+
+    assert sample(7) == sample(7)
+    assert sample(7) != sample(8)
+
+
+def test_latency_reservoir_percentiles_match_exact_within_tolerance():
+    # The E4 guarantee: reservoir quantiles track exact quantiles.
+    values = [float((13 * i) % 997) for i in range(20_000)]
+    reservoir = LatencyReservoir(4096, derive_rng(0, "latency-reservoir"))
+    for value in values:
+        reservoir.record(value)
+    exact = sorted(values)
+    approx = sorted(reservoir.samples)
+    for q in (0.50, 0.95, 0.99):
+        exact_q = exact[int(q * (len(exact) - 1))]
+        approx_q = approx[int(q * (len(approx) - 1))]
+        assert approx_q == pytest.approx(exact_q, rel=0.05)
 
 
 def test_synchronous_delivery_calls_handler_immediately(sim):
@@ -104,6 +149,104 @@ def test_fifo_delivery_order(sim, transport):
     transport.send(1, b)
     sim.run()
     assert received == [a, b]
+
+
+def test_fifo_order_preserved_under_max_jitter(sim):
+    # Property test for the per-link FIFO contract: jitter draws are
+    # uniform in [0, jitter_ms); without the monotonic clamp a later
+    # packet with a small draw would beat an earlier one with a large
+    # draw. Delivery order must equal send order regardless.
+    transport = Transport(
+        sim, LinkConfig(bandwidth_bps=1e6, latency_ms=10.0, jitter_ms=500.0), seed=3
+    )
+    received = []
+    transport.connect(1, lambda d: received.append(d.packet))
+    sent = [ChatMessagePacket(1, f"m{i}" * (1 + i % 7)) for i in range(200)]
+    for packet in sent:
+        transport.send(1, packet)
+    sim.run()
+    assert received == sent
+
+
+def test_fifo_holds_across_interleaved_sends(sim):
+    transport = Transport(
+        sim, LinkConfig(bandwidth_bps=1e9, latency_ms=5.0, jitter_ms=200.0), seed=9
+    )
+    received = []
+    transport.connect(1, lambda d: received.append(d.packet))
+    sent = []
+    def send_batch(n):
+        def fire():
+            for i in range(n):
+                packet = KeepAlivePacket(nonce=len(sent))
+                sent.append(packet)
+                transport.send(1, packet)
+        return fire
+    for at in (0.0, 50.0, 100.0, 150.0):
+        sim.schedule_at(at, send_batch(5))
+    sim.run()
+    assert received == sent
+
+
+def test_reconnect_does_not_deliver_stale_inflight_packets(sim, transport):
+    # Regression: an in-flight packet from a closed connection must not
+    # reach a later connection that reused the same client id.
+    old_received, new_received = [], []
+    transport.connect(1, old_received.append)
+    transport.send(1, KeepAlivePacket())
+    transport.disconnect(1)
+    transport.connect(1, new_received.append)  # same id, new generation
+    sim.run()
+    assert old_received == []
+    assert new_received == []
+    assert transport.reconnect_count == 1
+
+
+def test_new_generation_traffic_still_flows_after_reconnect(sim, transport):
+    received = []
+    transport.connect(1, lambda d: received.append(("old", d.packet)))
+    transport.send(1, KeepAlivePacket())
+    transport.disconnect(1)
+    transport.connect(1, lambda d: received.append(("new", d.packet)))
+    fresh = ChatMessagePacket(1, "hello again")
+    transport.send(1, fresh)
+    sim.run()
+    assert received == [("new", fresh)]
+
+
+def test_fault_plan_drops_are_counted_and_not_delivered(sim):
+    transport = Transport(
+        sim,
+        LinkConfig(bandwidth_bps=1e9, latency_ms=5.0),
+        seed=11,
+        faults=FaultPlan(loss_rate=0.5),
+    )
+    received = []
+    transport.connect(1, received.append)
+    for _ in range(400):
+        transport.send(1, KeepAlivePacket())
+    sim.run()
+    assert transport.packets_dropped > 0
+    assert len(received) + transport.packets_dropped == 400
+    # Bytes are still accounted for dropped packets (server egress).
+    assert transport.total_packets() == 400
+
+
+def test_per_client_fault_plan_overrides_fleet_default(sim):
+    transport = Transport(
+        sim, LinkConfig(bandwidth_bps=1e9, latency_ms=5.0), seed=11,
+        faults=FaultPlan(loss_rate=1.0),
+    )
+    healthy, doomed = [], []
+    transport.connect(1, healthy.append, faults=FaultPlan())  # null plan
+    transport.connect(2, doomed.append)  # inherits fleet-wide total loss
+    for _ in range(10):
+        transport.send(1, KeepAlivePacket())
+        transport.send(2, KeepAlivePacket())
+    sim.run()
+    assert len(healthy) == 10
+    assert doomed == []
+    assert transport.packets_dropped == 10
 
 
 def test_client_count(transport):

@@ -83,3 +83,35 @@ def test_effective_tick_rate_is_20hz_when_idle(sim, server_factory):
     server = server_factory(policy=ZeroBoundsPolicy())
     sim.run_until(5_000.0)
     assert server.tick_count == pytest.approx(100, abs=2)
+
+
+def test_restart_does_not_respawn_mobs(sim, server_factory):
+    server = server_factory(policy=ZeroBoundsPolicy(), mob_count=8)
+    assert server.world.entity_count == 8
+    server.stop()
+    server.start()
+    # Mobs are spawned once per server, not once per start().
+    assert server.world.entity_count == 8
+
+
+def test_restart_does_not_double_schedule_tick_loop(sim, server_factory):
+    server = server_factory(policy=ZeroBoundsPolicy())
+    sim.run_until(1_000.0)
+    server.stop()
+    sim.run_until(2_000.0)
+    ticks_while_stopped = server.tick_count
+    server.start()
+    sim.run_until(7_000.0)
+    # 5 s at 20 Hz: a doubled loop would show ~200 extra ticks.
+    assert server.tick_count - ticks_while_stopped == pytest.approx(100, abs=3)
+
+
+def test_rapid_stop_start_cycles_keep_single_tick_loop(sim, server_factory):
+    server = server_factory(policy=ZeroBoundsPolicy())
+    for __ in range(5):
+        server.stop()
+        server.start()
+    sim.run_until(5_000.0)
+    assert server.tick_count == pytest.approx(100, abs=3)
+    with pytest.raises(RuntimeError):
+        server.start()  # starting a running server is a caller bug
