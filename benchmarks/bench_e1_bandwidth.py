@@ -11,13 +11,14 @@ from repro.experiments.figures import bandwidth_by_policy
 
 
 @pytest.mark.benchmark(group="e1-bandwidth", min_rounds=1, max_time=1.0, warmup=False)
-def test_e1_bandwidth_by_policy(benchmark, scale):
+def test_e1_bandwidth_by_policy(benchmark, scale, jobs):
     result = benchmark.pedantic(
         bandwidth_by_policy,
         kwargs=dict(
             bots=scale["bots"],
             duration_ms=scale["duration_ms"],
             warmup_ms=scale["warmup_ms"],
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

@@ -15,7 +15,7 @@ from repro.experiments.figures import fault_churn_sweep
 
 
 @pytest.mark.benchmark(group="e9-faults", min_rounds=1, max_time=1.0, warmup=False)
-def test_e9_fault_churn_sweep(benchmark, scale):
+def test_e9_fault_churn_sweep(benchmark, scale, jobs):
     loss_rates = (0.0, 0.01, 0.05)
     result = benchmark.pedantic(
         fault_churn_sweep,
@@ -26,6 +26,7 @@ def test_e9_fault_churn_sweep(benchmark, scale):
             loss_rates=loss_rates,
             policies=("vanilla", "adaptive"),
             churn=True,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

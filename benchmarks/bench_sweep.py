@@ -1,0 +1,68 @@
+"""Sweep executor — wall-clock and correctness of parallel sharding.
+
+Unlike the E-series benchmarks (which regenerate paper figures), this
+target benchmarks the *harness itself*: a small E1+E9-shaped grid run
+cold-serial, cold-parallel (``--jobs N``), and warm-cache, asserting the
+executor's two contracts along the way — the three merged stores are
+byte-identical, and a warm-cache rerun does essentially no simulation
+work. Wall-clock numbers land in BENCH_sweep.json via
+``scripts/bench_trajectory.py --sweep``.
+"""
+
+import pytest
+
+from repro.experiments.parallel import default_bench_cells, run_sweep, sweep_benchmark
+
+
+@pytest.mark.benchmark(group="sweep-executor", min_rounds=1, max_time=1.0, warmup=False)
+def test_sweep_executor_benchmark(benchmark, scale, jobs):
+    cells = default_bench_cells(
+        bots=max(4, scale["bots"] // 10),
+        duration_ms=max(3_000.0, scale["duration_ms"] / 4),
+        points=4,
+    )
+    payload = benchmark.pedantic(
+        sweep_benchmark,
+        kwargs=dict(cells=cells, jobs=max(2, jobs)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for row in payload["rows"]:
+        print(
+            f"{row['mode']:<14} jobs={row['jobs']} "
+            f"cache_hits={row['cache_hits']} wall={row['wall_s']:.3f}s"
+        )
+    print(
+        f"parallel speedup {payload['parallel_speedup']}x on "
+        f"{payload['params']['cpu_count']} CPUs; warm fraction "
+        f"{payload['warm_fraction_of_cold']}"
+    )
+
+    # Contract 1: serial, parallel, and warm-cache stores are the same bytes.
+    assert payload["stores_byte_identical"]
+    # Contract 2: the warm rerun hit the cache for every cell.
+    warm = payload["rows"][-1]
+    assert warm["mode"] == "warm-rerun"
+    assert warm["cache_hits"] == warm["cells"]
+    # The warm rerun skips all simulation; well under 10% of the cold
+    # time even on a loaded single-core CI box.
+    assert payload["warm_fraction_of_cold"] < 0.10
+
+
+def test_sweep_retry_reports_failed_cell(tmp_path, jobs):
+    """A cell that dies every attempt ends up reported, not hung."""
+    cells = default_bench_cells(bots=3, duration_ms=2_000.0, points=2)
+    broken = cells[0].with_(name="broken", policy="no-such-policy")
+    report = run_sweep(
+        [broken, cells[1]],
+        jobs=max(2, jobs),
+        cache_dir=tmp_path / "cache",
+        retries=1,
+        store_path=tmp_path / "store.json",
+    )
+    assert set(report.failures) == {"broken"}
+    assert cells[1].name in report.results
+    outcome = {cell.name: cell for cell in report.cells}["broken"]
+    assert outcome.attempts == 2
+    assert "no-such-policy" in (outcome.error or "")

@@ -20,6 +20,20 @@ def pytest_addoption(parser):
         help="run experiments at the full scale recorded in EXPERIMENTS.md "
         "(several minutes per benchmark) instead of the quick CI scale",
     )
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard each benchmark's experiment cells across N worker "
+        "processes (results are byte-identical to --jobs 1; see "
+        "repro.experiments.parallel)",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    """Worker-process count for sweep-shaped benchmarks."""
+    return request.config.getoption("--jobs")
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,7 @@
 
 Usage: [PYTHONPATH=src] python scripts/bench_trajectory.py [--quick]
            [--out PATH] [--bots N [N ...]] [--faults]
+           [--sweep] [--jobs N] [--sweep-out PATH]
 
 Runs the :mod:`repro.experiments.wallclock` suite (direct-mode broadcast
 scan vs indexed, entity-crossing handler scan vs indexed, interest
@@ -18,6 +19,13 @@ use only for crash detection).
 null (all-zero-rate) plan. Compare the rows against a run without the
 flag to verify the layer costs nothing on the fan-out hot path when no
 faults are configured.
+
+``--sweep`` additionally benchmarks the parallel sweep executor
+(cold serial vs cold ``--jobs N`` vs warm-cache rerun over a small
+E1+E9-shaped grid) and writes BENCH_sweep.json. The payload records the
+machine's CPU count next to the speedup — on a single-core box the
+parallel speedup is ~1x by construction and only the warm-cache fraction
+and byte-identity check are meaningful.
 """
 
 from __future__ import annotations
@@ -89,6 +97,13 @@ def main() -> None:
     parser.add_argument("--faults", action="store_true",
                         help="run with a null FaultPlan on every link "
                         "(overhead-when-disabled check)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="also benchmark the parallel sweep executor "
+                        "and write BENCH_sweep.json")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the --sweep benchmark")
+    parser.add_argument("--sweep-out", type=Path,
+                        default=REPO_ROOT / "BENCH_sweep.json")
     args = parser.parse_args()
 
     scale = dict(events=200, crossings=100, refreshes=40, commits=2_000) if args.quick \
@@ -113,6 +128,34 @@ def main() -> None:
     print(render(payload))
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out}")
+
+    if args.sweep:
+        from repro.experiments.parallel import default_bench_cells, sweep_benchmark
+
+        cells = (
+            default_bench_cells(bots=4, duration_ms=2_500.0, points=4)
+            if args.quick
+            else default_bench_cells()
+        )
+        sweep_payload = sweep_benchmark(cells=cells, jobs=args.jobs)
+        sweep_payload["quick"] = args.quick
+        sweep_payload["python"] = platform.python_version()
+        print()
+        print(f"{'mode':<14} {'jobs':>5} {'cache hits':>11} {'wall s':>9}")
+        for row in sweep_payload["rows"]:
+            print(
+                f"{row['mode']:<14} {row['jobs']:>5} "
+                f"{row['cache_hits']:>11} {row['wall_s']:>9.3f}"
+            )
+        print(
+            f"parallel speedup: {sweep_payload['parallel_speedup']}x "
+            f"({sweep_payload['params']['cpu_count']} CPUs); "
+            f"warm rerun: {100 * sweep_payload['warm_fraction_of_cold']:.1f}% "
+            f"of cold; stores byte-identical: "
+            f"{sweep_payload['stores_byte_identical']}"
+        )
+        args.sweep_out.write_text(json.dumps(sweep_payload, indent=2) + "\n")
+        print(f"wrote {args.sweep_out}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Print a digest transcript for a tiny sweep — determinism oracle for CI.
+
+Usage: [PYTHONPATH=src] python scripts/determinism_check.py [--jobs N]
+
+Runs a four-cell E1+E9-shaped sweep and prints, one per line, each
+cell's cache key (the content-addressed config digest) followed by the
+sha256 of the merged result store. CI runs this twice under different
+``PYTHONHASHSEED`` values and diffs the output: any dependence on dict
+iteration order, set ordering, or ``hash()`` in the config
+normalization, the simulation, or the store serialization shows up as a
+digest mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.parallel import (  # noqa: E402
+    config_digest,
+    default_bench_cells,
+    run_sweep,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker-process count (digests must not depend on it)")
+    args = parser.parse_args()
+
+    cells = default_bench_cells(bots=4, duration_ms=2_000.0, points=4)
+    for cell in cells:
+        print(f"cell {cell.name} {config_digest(cell)}")
+
+    with tempfile.TemporaryDirectory(prefix="determinism-check-") as tmp:
+        store_path = Path(tmp) / "store.json"
+        report = run_sweep(
+            cells,
+            jobs=args.jobs,
+            cache_dir=Path(tmp) / "cache",
+            store_path=store_path,
+        )
+        report.raise_on_failure()
+        store_sha = hashlib.sha256(store_path.read_bytes()).hexdigest()
+    print(f"store {store_sha}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,16 +2,21 @@
 """Run one experiment group at paper scale and archive its tables.
 
 Usage: python scripts/run_paper_scale.py <e1|e2|e3|e4|e6|e7|e8> [outdir]
+           [--jobs N] [--cache-dir DIR]
 
 Writes ``<outdir>/<group>.txt`` with the rendered tables (the numbers
 EXPERIMENTS.md records). Groups are separate processes so they can run
-in parallel. Expect roughly 5-15 minutes per group on a laptop-class
-machine — e1/e7 run eight 100-bot experiments each.
+in parallel, and ``--jobs N`` additionally shards the cells *within* a
+group across N worker processes (results are byte-identical to a serial
+run; see README "Running sweeps in parallel"). With ``--cache-dir`` an
+interrupted group resumes from its completed cells instead of
+restarting. Expect roughly 5-15 minutes per group serially on a
+laptop-class machine — e1/e7 run eight 100-bot experiments each.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 from pathlib import Path
 
 from repro.experiments import figures
@@ -19,15 +24,17 @@ from repro.experiments import figures
 PAPER = dict(bots=100, duration_ms=20_000.0, warmup_ms=8_000.0, seed=42)
 
 
-def run_group(group: str) -> str:
+def run_group(group: str, jobs: int = 1, cache_dir: str | None = None) -> str:
+    sweep = dict(jobs=jobs, cache_dir=cache_dir)
     if group == "e1":
-        return figures.bandwidth_by_policy(**PAPER)["table"]
+        return figures.bandwidth_by_policy(**PAPER, **sweep)["table"]
     if group == "e2":
         out = figures.capacity_sweep(
             bot_counts=(50, 75, 100, 125, 150, 175),
             duration_ms=12_000.0,
             warmup_ms=6_000.0,
             seed=42,
+            **sweep,
         )
         lines = [out["table"], ""]
         for policy, curve in out["curves"].items():
@@ -35,39 +42,49 @@ def run_group(group: str) -> str:
         lines.append(f"capacity gain: {out['capacity_gain_percent']:.1f}%")
         return "\n".join(lines)
     if group == "e3":
-        return figures.inconsistency_by_policy(**PAPER)["table"]
+        return figures.inconsistency_by_policy(**PAPER, **sweep)["table"]
     if group == "e4":
         params = dict(PAPER)
         params["bots"] = 60
         params["duration_ms"] = 20_000.0
         params["warmup_ms"] = 6_000.0
-        return figures.latency_by_policy(**params)["table"]
+        return figures.latency_by_policy(**params, **sweep)["table"]
     if group == "e6":
+        # Dynamics is a single long run with in-sim hooks; it has no
+        # cells to shard and always runs serially.
         out = figures.dynamics_timeline(
             base_bots=60, burst_bots=120, duration_ms=60_000.0,
             burst_at_ms=20_000.0, burst_end_ms=40_000.0, seed=42,
         )
         return out["table"]
     if group == "e7":
-        return figures.policy_summary_table(**PAPER)["table"]
+        return figures.policy_summary_table(**PAPER, **sweep)["table"]
     if group == "e8":
         parts = [
-            figures.ablation_merging(**PAPER)["table"],
-            figures.ablation_granularity(**PAPER)["table"],
-            figures.ablation_policy_period(**PAPER)["table"],
+            figures.ablation_merging(**PAPER, **sweep)["table"],
+            figures.ablation_granularity(**PAPER, **sweep)["table"],
+            figures.ablation_policy_period(**PAPER, **sweep)["table"],
         ]
         return "\n\n".join(parts)
     raise SystemExit(f"unknown group {group!r}")
 
 
 def main() -> None:
-    if len(sys.argv) < 2:
-        raise SystemExit(__doc__)
-    group = sys.argv[1]
-    outdir = Path(sys.argv[2] if len(sys.argv) > 2 else "results")
-    outdir.mkdir(exist_ok=True)
-    table = run_group(group)
-    (outdir / f"{group}.txt").write_text(table + "\n")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("group", choices=("e1", "e2", "e3", "e4", "e6", "e7", "e8"))
+    parser.add_argument("outdir", nargs="?", default="results", type=Path)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per group (1 = serial; same output bytes)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="resume/skip completed cells via a content-addressed cell cache",
+    )
+    args = parser.parse_args()
+    args.outdir.mkdir(exist_ok=True)
+    table = run_group(args.group, jobs=args.jobs, cache_dir=args.cache_dir)
+    (args.outdir / f"{args.group}.txt").write_text(table + "\n")
     print(table)
 
 

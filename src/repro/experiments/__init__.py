@@ -11,6 +11,8 @@ targets listed in DESIGN.md.
 
 from repro.experiments.configs import (
     ExperimentConfig,
+    config_from_dict,
+    config_to_dict,
     make_partitioner,
     make_policy,
 )
@@ -27,12 +29,24 @@ from repro.experiments.figures import (
     make_fault_plan,
     policy_summary_table,
 )
+from repro.experiments.parallel import (
+    SweepReport,
+    config_digest,
+    run_cells,
+    run_sweep,
+)
 from repro.experiments.runner import ExperimentResult, run_experiment
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    "run_sweep",
+    "run_cells",
+    "SweepReport",
+    "config_digest",
+    "config_to_dict",
+    "config_from_dict",
     "make_policy",
     "make_partitioner",
     "bandwidth_by_policy",

@@ -35,13 +35,24 @@ def _common(parser: argparse.ArgumentParser) -> None:
         help="record an instrumented run: write a JSONL span/metric stream "
         "to PATH and a Prometheus snapshot to PATH.prom",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard experiment cells across N worker processes "
+        "(1 = in-process serial; output is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed result cache: completed cells found in DIR "
+        "are not re-run, and an interrupted sweep resumes from it",
+    )
 
 
 def _window(args) -> dict:
     duration_ms = args.duration * 1000.0
     warmup_ms = args.warmup * 1000.0 if args.warmup is not None else duration_ms / 3.0
     return dict(
-        bots=args.bots, duration_ms=duration_ms, warmup_ms=warmup_ms, seed=args.seed
+        bots=args.bots, duration_ms=duration_ms, warmup_ms=warmup_ms, seed=args.seed,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
 
 
@@ -87,6 +98,8 @@ def main(argv: list[str] | None = None) -> int:
                 duration_ms=window["duration_ms"],
                 warmup_ms=window["warmup_ms"],
                 seed=window["seed"],
+                jobs=window["jobs"],
+                cache_dir=window["cache_dir"],
             )
             print(out["table"])
         elif name == "e3":

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.bots.workload import BUILDER_MIX, BehaviorMix, ChurnSpec, WorkloadSpec
 from repro.core.bounds import Bounds
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import DegradedWindow, FaultPlan
 from repro.core.partition import (
     ChunkPartitioner,
     DyconitPartitioner,
@@ -132,3 +132,47 @@ class ExperimentConfig:
             behavior=self.behavior,
             act_interval_ms=self.act_interval_ms,
         )
+
+
+def config_to_dict(config: ExperimentConfig) -> dict:
+    """JSON-safe dictionary of a config (inverse of :func:`config_from_dict`).
+
+    Nested value objects (behavior mix, cost model, bounds, fault plan,
+    churn spec) become plain dicts via :func:`dataclasses.asdict`.
+    """
+    return asdict(config)
+
+
+def config_from_dict(data: dict) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from its dict form.
+
+    Restores every nested value object to its real type — including the
+    fault plan and churn spec, which a plain ``ExperimentConfig(**data)``
+    would silently leave as dicts (frozen dataclasses don't type-check
+    their fields).
+    """
+    data = dict(data)
+    behavior = BehaviorMix(**data.pop("behavior"))
+    cost = CostCoefficients(**data.pop("cost"))
+    fixed_bounds = data.pop("fixed_bounds", None)
+    faults = data.pop("faults", None)
+    churn = data.pop("churn", None)
+    if faults is not None and not isinstance(faults, FaultPlan):
+        faults = dict(faults)
+        windows = tuple(
+            window if isinstance(window, DegradedWindow) else DegradedWindow(**window)
+            for window in faults.pop("degraded_windows", ())
+        )
+        faults = FaultPlan(degraded_windows=windows, **faults)
+    if churn is not None and not isinstance(churn, ChurnSpec):
+        churn = ChurnSpec(**churn)
+    if fixed_bounds is not None and not isinstance(fixed_bounds, Bounds):
+        fixed_bounds = Bounds(**fixed_bounds)
+    return ExperimentConfig(
+        behavior=behavior,
+        cost=cost,
+        fixed_bounds=fixed_bounds,
+        faults=faults,
+        churn=churn,
+        **data,
+    )

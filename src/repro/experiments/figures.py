@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.bots.workload import ChurnSpec
 from repro.experiments.configs import ExperimentConfig
+from repro.experiments.parallel import run_cells
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.faults.plan import FaultPlan
 from repro.metrics.report import render_table
@@ -38,6 +39,8 @@ def bandwidth_by_policy(
     warmup_ms: float = 10_000.0,
     seed: int = 42,
     policies: tuple[str, ...] = E1_POLICIES,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E1: steady-state outgoing bandwidth per policy, same workload.
 
@@ -45,12 +48,9 @@ def bandwidth_by_policy(
     one center, so traffic is update-dominated and classic interest
     management has nothing left to filter.
     """
-    results: dict[str, ExperimentResult] = {}
-    deferred_budget = "adaptive-bw" in policies
-    for policy in policies:
-        if policy == "adaptive-bw":
-            continue  # needs the baseline rate; run below
-        config = ExperimentConfig(
+    plain_policies = [p for p in policies if p != "adaptive-bw"]
+    cells = [
+        ExperimentConfig(
             name=f"e1-{policy}",
             policy=policy,
             bots=bots,
@@ -59,12 +59,19 @@ def bandwidth_by_policy(
             seed=seed,
             movement="village",
         )
-        results[policy] = run_experiment(config)
+        for policy in plain_policies
+    ]
+    results: dict[str, ExperimentResult] = dict(
+        zip(plain_policies, run_cells(cells, jobs=jobs, cache_dir=cache_dir))
+    )
+    deferred_budget = "adaptive-bw" in policies
 
     baseline = results.get("zero") or results.get("vanilla")
     baseline_rate = baseline.steady_bytes_per_second if baseline else 0.0
 
     if deferred_budget and baseline_rate > 0:
+        # The budgeted cell depends on the measured baseline, so it runs
+        # as a second (single-cell) stage after the parallel batch.
         config = ExperimentConfig(
             name="e1-adaptive-bw",
             policy="adaptive",
@@ -75,7 +82,9 @@ def bandwidth_by_policy(
             seed=seed,
             movement="village",
         )
-        results["adaptive-bw"] = run_experiment(config)
+        results["adaptive-bw"] = run_cells(
+            [config], jobs=1, cache_dir=cache_dir
+        )[0]
     baseline_update_bytes = _update_bytes(baseline) if baseline else 0
 
     rows = []
@@ -138,35 +147,67 @@ def capacity_sweep(
     warmup_ms: float = 10_000.0,
     tick_budget_ms: float = 50.0,
     seed: int = 42,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E2: p95 tick duration vs player count; capacity at the budget.
 
     Capacity is the largest player count whose steady-state p95 tick
     duration stays within the 50 ms budget, linearly interpolated between
     the last passing and first failing sweep points.
+
+    Serially (``jobs == 1``) each policy's sweep stops at the first
+    over-budget point — deeper overload points only burn wall-clock.
+    With ``jobs > 1`` every (policy, count) cell is dispatched up front
+    (the early exit would serialize the sweep) and the curve is then
+    truncated at the same crossing, so the reported rows are identical
+    either way.
     """
     curves: dict[str, list[tuple[int, float]]] = {}
     capacities: dict[str, float] = {}
-    for policy in policies:
-        curve: list[tuple[int, float]] = []
-        for bots in bot_counts:
-            config = ExperimentConfig(
-                name=f"e2-{policy}-{bots}",
-                policy=policy,
-                bots=bots,
-                duration_ms=duration_ms,
-                warmup_ms=warmup_ms,
-                seed=seed,
+
+    def cell(policy: str, bots: int) -> ExperimentConfig:
+        return ExperimentConfig(
+            name=f"e2-{policy}-{bots}",
+            policy=policy,
+            bots=bots,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            seed=seed,
+        )
+
+    if jobs > 1:
+        cells = [cell(policy, bots) for policy in policies for bots in bot_counts]
+        all_results = dict(
+            zip(
+                [(policy, bots) for policy in policies for bots in bot_counts],
+                run_cells(cells, jobs=jobs, cache_dir=cache_dir),
             )
-            result = run_experiment(config)
-            curve.append((bots, result.tick_duration.p95))
-            if result.tick_duration.p95 > tick_budget_ms:
-                # The capacity crossing is bracketed; deeper overload
-                # points only burn wall-clock (the death spiral makes
-                # them disproportionately expensive to simulate).
-                break
-        curves[policy] = curve
-        capacities[policy] = _capacity_at(curve, tick_budget_ms)
+        )
+        for policy in policies:
+            curve = []
+            for bots in bot_counts:
+                p95 = all_results[(policy, bots)].tick_duration.p95
+                curve.append((bots, p95))
+                if p95 > tick_budget_ms:
+                    break
+            curves[policy] = curve
+            capacities[policy] = _capacity_at(curve, tick_budget_ms)
+    else:
+        for policy in policies:
+            curve = []
+            for bots in bot_counts:
+                result = run_cells(
+                    [cell(policy, bots)], jobs=1, cache_dir=cache_dir
+                )[0]
+                curve.append((bots, result.tick_duration.p95))
+                if result.tick_duration.p95 > tick_budget_ms:
+                    # The capacity crossing is bracketed; deeper overload
+                    # points only burn wall-clock (the death spiral makes
+                    # them disproportionately expensive to simulate).
+                    break
+            curves[policy] = curve
+            capacities[policy] = _capacity_at(curve, tick_budget_ms)
 
     rows = []
     for policy in policies:
@@ -218,6 +259,8 @@ def inconsistency_by_policy(
     warmup_ms: float = 10_000.0,
     seed: int = 42,
     policies: tuple[str, ...] = ("zero", "fixed", "aoi", "distance", "adaptive", "infinite"),
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E3: distribution of client-observed positional error & staleness.
 
@@ -226,8 +269,8 @@ def inconsistency_by_policy(
     """
     rows = []
     results = {}
-    for policy in policies:
-        config = ExperimentConfig(
+    cells = [
+        ExperimentConfig(
             name=f"e3-{policy}",
             policy=policy,
             bots=bots,
@@ -235,7 +278,11 @@ def inconsistency_by_policy(
             warmup_ms=warmup_ms,
             seed=seed,
         )
-        result = run_experiment(config)
+        for policy in policies
+    ]
+    for policy, result in zip(
+        policies, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ):
         results[policy] = result
         rows.append(
             {
@@ -270,6 +317,8 @@ def latency_by_policy(
     warmup_ms: float = 5_000.0,
     seed: int = 42,
     policies: tuple[str, ...] = ("vanilla", "zero", "adaptive"),
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E4: per-packet network latency CDF plus middleware queue delay.
 
@@ -278,8 +327,8 @@ def latency_by_policy(
     """
     rows = []
     results = {}
-    for policy in policies:
-        config = ExperimentConfig(
+    cells = [
+        ExperimentConfig(
             name=f"e4-{policy}",
             policy=policy,
             bots=bots,
@@ -289,7 +338,11 @@ def latency_by_policy(
             synchronous_delivery=False,
             record_latencies=True,
         )
-        result = run_experiment(config)
+        for policy in policies
+    ]
+    for policy, result in zip(
+        policies, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ):
         results[policy] = result
         rows.append(
             {
@@ -386,11 +439,12 @@ def policy_summary_table(
     warmup_ms: float = 10_000.0,
     seed: int = 42,
     policies: tuple[str, ...] = E7_POLICIES,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E7: one row per policy across every headline metric."""
-    rows = []
-    for policy in policies:
-        config = ExperimentConfig(
+    cells = [
+        ExperimentConfig(
             name=f"e7-{policy}",
             policy=policy,
             bots=bots,
@@ -398,8 +452,12 @@ def policy_summary_table(
             warmup_ms=warmup_ms,
             seed=seed,
         )
-        result = run_experiment(config)
-        rows.append(result.as_row())
+        for policy in policies
+    ]
+    rows = [
+        result.as_row()
+        for result in run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ]
     headers = list(rows[0].keys())
     table = render_table(
         headers,
@@ -419,11 +477,14 @@ def ablation_merging(
     duration_ms: float = 30_000.0,
     warmup_ms: float = 10_000.0,
     seed: int = 42,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E8(a): flush-time merging on vs off under the distance policy."""
     rows = []
-    for merging in (True, False):
-        config = ExperimentConfig(
+    settings = (True, False)
+    cells = [
+        ExperimentConfig(
             name=f"e8a-merge-{merging}",
             policy="distance",
             bots=bots,
@@ -432,7 +493,11 @@ def ablation_merging(
             seed=seed,
             merging_enabled=merging,
         )
-        result = run_experiment(config)
+        for merging in settings
+    ]
+    for merging, result in zip(
+        settings, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ):
         rows.append(
             {
                 "merging": "on" if merging else "off",
@@ -455,11 +520,13 @@ def ablation_granularity(
     warmup_ms: float = 10_000.0,
     seed: int = 42,
     partitioners: tuple[str, ...] = ("chunk", "region:2", "region:4", "global"),
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E8(b): dyconit granularity sweep under the distance policy."""
     rows = []
-    for partitioner in partitioners:
-        config = ExperimentConfig(
+    cells = [
+        ExperimentConfig(
             name=f"e8b-{partitioner}",
             policy="distance",
             bots=bots,
@@ -468,7 +535,11 @@ def ablation_granularity(
             seed=seed,
             partitioner=partitioner,
         )
-        result = run_experiment(config)
+        for partitioner in partitioners
+    ]
+    for partitioner, result in zip(
+        partitioners, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ):
         rows.append(
             {
                 "granularity": partitioner,
@@ -520,6 +591,8 @@ def fault_churn_sweep(
     loss_rates: tuple[float, ...] = (0.0, 0.01, 0.05),
     policies: tuple[str, ...] = ("vanilla", "adaptive"),
     churn: bool = True,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E9: loss x churn sweep across direct vs dyconit modes.
 
@@ -544,22 +617,26 @@ def fault_churn_sweep(
     )
     rows = []
     results: dict[tuple[str, float], ExperimentResult] = {}
-    for policy in policies:
-        for loss in loss_rates:
-            config = ExperimentConfig(
-                name=f"e9-{policy}-loss{loss:g}",
-                policy=policy,
-                bots=bots,
-                duration_ms=duration_ms,
-                warmup_ms=warmup_ms,
-                seed=seed,
-                faults=make_fault_plan(loss),
-                churn=churn_spec,
-            )
-            result = run_experiment(config)
-            results[(policy, loss)] = result
-            sent = max(1, result.packets_total)
-            rows.append(
+    points = [(policy, loss) for policy in policies for loss in loss_rates]
+    cells = [
+        ExperimentConfig(
+            name=f"e9-{policy}-loss{loss:g}",
+            policy=policy,
+            bots=bots,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            seed=seed,
+            faults=make_fault_plan(loss),
+            churn=churn_spec,
+        )
+        for policy, loss in points
+    ]
+    for (policy, loss), result in zip(
+        points, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ):
+        results[(policy, loss)] = result
+        sent = max(1, result.packets_total)
+        rows.append(
                 {
                     "policy": policy,
                     "loss %": 100.0 * loss,
@@ -593,11 +670,13 @@ def ablation_policy_period(
     warmup_ms: float = 10_000.0,
     seed: int = 42,
     periods_ms: tuple[float, ...] = (250.0, 500.0, 1000.0, 2000.0, 4000.0),
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict:
     """E8(c): adaptive-policy evaluation period sweep."""
     rows = []
-    for period in periods_ms:
-        config = ExperimentConfig(
+    cells = [
+        ExperimentConfig(
             name=f"e8c-{period:.0f}ms",
             policy="adaptive",
             policy_kwargs={"evaluation_period_ms": period},
@@ -606,7 +685,11 @@ def ablation_policy_period(
             warmup_ms=warmup_ms,
             seed=seed,
         )
-        result = run_experiment(config)
+        for period in periods_ms
+    ]
+    for period, result in zip(
+        periods_ms, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ):
         rows.append(
             {
                 "period ms": period,

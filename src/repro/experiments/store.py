@@ -3,18 +3,50 @@
 EXPERIMENTS.md is regenerated from saved runs; this module serializes
 :class:`~repro.experiments.runner.ExperimentResult` to JSON and back so a
 long paper-scale run can be archived and re-rendered without re-running.
+
+All writes are **atomic**: the payload lands in a same-directory temp
+file which is then ``os.replace``d over the destination, so a crash or
+kill mid-write leaves either the previous store or the new one — never a
+truncated JSON file. The parallel sweep executor
+(:mod:`repro.experiments.parallel`) leans on this for crash-resume.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
-from repro.core.bounds import Bounds
-from repro.experiments.configs import ExperimentConfig
+from repro.experiments.configs import config_from_dict
 from repro.experiments.runner import ExperimentResult
 from repro.metrics.summary import Summary
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp file + rename).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` stays on one filesystem (rename atomicity); on any
+    error the temp file is removed rather than left to shadow the store.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(handle, "w") as tmp_file:
+            tmp_file.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -43,8 +75,13 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "staleness_p50_ms": result.staleness_p50_ms,
         "staleness_p99_ms": result.staleness_p99_ms,
         "packet_latency": result.packet_latency.as_dict(),
+        "packets_dropped": result.packets_dropped,
+        "reconnects": result.reconnects,
+        "churn_crashes": result.churn_crashes,
+        "churn_rejoins": result.churn_rejoins,
         "bandwidth_timeline": result.bandwidth_timeline,
         "player_timeline": result.player_timeline,
+        "tick_timeline": result.tick_timeline,
         "factor_timeline": result.factor_timeline,
     }
     return payload
@@ -64,20 +101,7 @@ def _summary_from_dict(data: dict) -> Summary:
 
 def result_from_dict(data: dict) -> ExperimentResult:
     """Rebuild a result (config is restored field-by-field)."""
-    config_data = dict(data["config"])
-    fixed_bounds = config_data.pop("fixed_bounds", None)
-    behavior = config_data.pop("behavior")
-    cost = config_data.pop("cost")
-
-    from repro.bots.workload import BehaviorMix
-    from repro.server.costmodel import CostCoefficients
-
-    config = ExperimentConfig(
-        behavior=BehaviorMix(**behavior),
-        cost=CostCoefficients(**cost),
-        fixed_bounds=Bounds(**fixed_bounds) if fixed_bounds else None,
-        **config_data,
-    )
+    config = config_from_dict(data["config"])
     result = ExperimentResult(config=config)
     result.bytes_total = data["bytes_total"]
     result.packets_total = data["packets_total"]
@@ -98,16 +122,23 @@ def result_from_dict(data: dict) -> ExperimentResult:
     result.staleness_p50_ms = data["staleness_p50_ms"]
     result.staleness_p99_ms = data["staleness_p99_ms"]
     result.packet_latency = _summary_from_dict(data["packet_latency"])
+    # Fault/churn counters and the tick timeline postdate early stores;
+    # default them so archived pre-S13 runs still load.
+    result.packets_dropped = data.get("packets_dropped", 0)
+    result.reconnects = data.get("reconnects", 0)
+    result.churn_crashes = data.get("churn_crashes", 0)
+    result.churn_rejoins = data.get("churn_rejoins", 0)
     result.bandwidth_timeline = [tuple(point) for point in data["bandwidth_timeline"]]
     result.player_timeline = [tuple(point) for point in data["player_timeline"]]
+    result.tick_timeline = [tuple(point) for point in data.get("tick_timeline", [])]
     result.factor_timeline = [tuple(point) for point in data["factor_timeline"]]
     return result
 
 
 def save_results(path: str | Path, results: dict[str, ExperimentResult]) -> None:
-    """Write a named collection of results as JSON."""
+    """Atomically write a named collection of results as JSON."""
     payload = {name: result_to_dict(result) for name, result in results.items()}
-    Path(path).write_text(json.dumps(payload, indent=2, default=_jsonify))
+    atomic_write_text(path, json.dumps(payload, indent=2, default=_jsonify))
 
 
 def save_telemetry(path: str | Path, telemetry) -> tuple[Path, Path]:

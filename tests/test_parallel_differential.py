@@ -1,0 +1,84 @@
+"""Serial ≡ parallel differential oracle for the sweep executor.
+
+The ``jobs=1`` in-process path is the ground truth; ``jobs=4`` must
+produce a byte-identical serialized store — including when half the
+cells are already present in the cache (the resume path must not change
+the bytes either).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.figures import make_fault_plan
+from repro.experiments.parallel import config_digest, load_cell, run_cells, run_sweep
+
+
+@pytest.fixture(scope="module")
+def cells():
+    """A tiny E1+E9-shaped grid: policy sweep plus a faulty/churny cell."""
+    base = ExperimentConfig(bots=4, duration_ms=2_500.0, warmup_ms=800.0, seed=7)
+    return [
+        base.with_(name="e1-zero", policy="zero"),
+        base.with_(name="e1-fixed", policy="fixed"),
+        base.with_(name="e1-adaptive", policy="adaptive"),
+        base.with_(
+            name="e9-adaptive-loss2",
+            policy="adaptive",
+            faults=make_fault_plan(0.02),
+            seed=11,
+        ),
+    ]
+
+
+def run_store_bytes(cells, tmp_path, tag, jobs):
+    cache = tmp_path / f"{tag}-cache"
+    store = tmp_path / f"{tag}-store.json"
+    report = run_sweep(cells, jobs=jobs, cache_dir=cache, store_path=store)
+    report.raise_on_failure()
+    return store.read_bytes(), report
+
+
+def test_parallel_store_is_byte_identical_to_serial(cells, tmp_path):
+    serial_bytes, serial_report = run_store_bytes(cells, tmp_path, "serial", jobs=1)
+    parallel_bytes, parallel_report = run_store_bytes(
+        cells, tmp_path, "parallel", jobs=4
+    )
+    assert serial_report.cells_run == [cell.name for cell in cells]
+    assert parallel_report.cells_run == [cell.name for cell in cells]
+    assert parallel_bytes == serial_bytes
+    # The store is valid JSON keyed by cell name, in input order.
+    data = json.loads(serial_bytes)
+    assert list(data) == [cell.name for cell in cells]
+
+
+def test_half_seeded_cache_produces_identical_bytes(cells, tmp_path):
+    """Pre-seeding half the cells (resume) must not change the output."""
+    serial_bytes, _ = run_store_bytes(cells, tmp_path, "oracle", jobs=1)
+
+    # Compute the first half's payloads once, seed a fresh cache with
+    # them, and let the parallel sweep fill in the rest.
+    warm = tmp_path / "warm-cache"
+    first_half = cells[: len(cells) // 2]
+    pre = run_sweep(first_half, jobs=1, cache_dir=warm)
+    pre.raise_on_failure()
+    assert all(load_cell(warm, config_digest(cell)) is not None for cell in first_half)
+
+    store = tmp_path / "warm-store.json"
+    report = run_sweep(cells, jobs=4, cache_dir=warm, store_path=store)
+    report.raise_on_failure()
+    assert report.cache_hits == [cell.name for cell in first_half]
+    assert report.cells_run == [cell.name for cell in cells[len(cells) // 2 :]]
+    assert store.read_bytes() == serial_bytes
+
+
+def test_run_cells_matches_run_experiment_order(cells, tmp_path):
+    """run_cells returns results in input order regardless of jobs."""
+    serial = run_cells(cells, jobs=1, cache_dir=tmp_path / "a")
+    parallel = run_cells(cells, jobs=4, cache_dir=tmp_path / "b")
+    assert [r.config.name for r in serial] == [cell.name for cell in cells]
+    for left, right in zip(serial, parallel):
+        assert left.config.name == right.config.name
+        assert left.bytes_total == right.bytes_total
+        assert left.packets_total == right.packets_total

@@ -1,0 +1,124 @@
+"""Crash-resume regression tests for the sweep executor.
+
+Two failure shapes from the issue:
+
+* a worker that raises mid-sweep — the cell is retried a bounded number
+  of times, reported failed, and never hangs the sweep or poisons the
+  other cells;
+* a SIGKILL-style truncated store write — a half-written cell file (and
+  stray ``.tmp`` litter) is treated as a cache miss, and a rerun
+  recomputes exactly the missing cells and produces a valid final store.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.parallel import (
+    cell_path,
+    config_digest,
+    load_cell,
+    run_sweep,
+)
+
+
+@pytest.fixture()
+def cells():
+    base = ExperimentConfig(bots=3, duration_ms=2_000.0, warmup_ms=600.0, seed=3)
+    return [
+        base.with_(name="cell-a", policy="zero"),
+        base.with_(name="cell-b", policy="fixed"),
+        base.with_(name="cell-c", policy="adaptive", seed=4),
+    ]
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_raising_cell_is_retried_then_reported(cells, tmp_path, jobs):
+    """An unknown policy raises inside the worker on every attempt."""
+    broken = cells[0].with_(name="cell-broken", policy="definitely-not-a-policy")
+    sweep = [broken] + cells[1:]
+    report = run_sweep(
+        sweep,
+        jobs=jobs,
+        cache_dir=tmp_path / "cache",
+        retries=2,
+        store_path=tmp_path / "store.json",
+    )
+    # The broken cell failed after exactly retries+1 attempts...
+    assert set(report.failures) == {"cell-broken"}
+    outcome = {cell.name: cell for cell in report.cells}["cell-broken"]
+    assert outcome.source == "failed"
+    assert outcome.attempts == 3
+    assert "definitely-not-a-policy" in outcome.error
+    # ...the healthy cells all completed...
+    assert report.cells_run == ["cell-b", "cell-c"]
+    # ...and the merged store contains exactly the healthy cells.
+    store = json.loads((tmp_path / "store.json").read_text())
+    assert list(store) == ["cell-b", "cell-c"]
+    with pytest.raises(RuntimeError, match="cell-broken"):
+        report.raise_on_failure()
+
+
+def test_truncated_cell_write_resumes_cleanly(cells, tmp_path):
+    """A killed sweep leaves a torn cell file; the rerun recovers."""
+    cache = tmp_path / "cache"
+
+    # First run completes two of three cells (simulate an interrupted
+    # sweep by running only a prefix).
+    first = run_sweep(cells[:2], jobs=1, cache_dir=cache)
+    first.raise_on_failure()
+
+    # SIGKILL mid-write: truncate one completed cell's file to half its
+    # bytes and drop a stale .tmp file next to it (what a pre-rename
+    # kill leaves behind).
+    victim = cell_path(cache, config_digest(cells[1]))
+    body = victim.read_bytes()
+    victim.write_bytes(body[: len(body) // 2])
+    (cache / "sweep-leftover.tmp").write_text("{torn")
+    assert load_cell(cache, config_digest(cells[1])) is None
+
+    # The rerun treats the torn cell as missing, keeps the intact one,
+    # and produces a complete, valid store.
+    report = run_sweep(
+        cells, jobs=3, cache_dir=cache, store_path=tmp_path / "store.json"
+    )
+    report.raise_on_failure()
+    assert report.cache_hits == ["cell-a"]
+    assert sorted(report.cells_run) == ["cell-b", "cell-c"]
+    store = json.loads((tmp_path / "store.json").read_text())
+    assert list(store) == ["cell-a", "cell-b", "cell-c"]
+
+    # A second rerun is a pure cache replay.
+    replay = run_sweep(
+        cells, jobs=3, cache_dir=cache, store_path=tmp_path / "store2.json"
+    )
+    replay.raise_on_failure()
+    assert replay.cache_hits == ["cell-a", "cell-b", "cell-c"]
+    assert (tmp_path / "store2.json").read_bytes() == (
+        tmp_path / "store.json"
+    ).read_bytes()
+
+
+def test_worker_that_dies_without_error_report(cells, tmp_path, monkeypatch):
+    """A worker killed outright (no .err file) still reports an error."""
+    import multiprocessing
+
+    import repro.experiments.parallel as parallel
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("monkeypatched worker needs fork inheritance")
+
+    def kamikaze(spec):
+        import os
+
+        os._exit(42)  # no traceback, no cell file — like a SIGKILL
+
+    monkeypatch.setattr(parallel, "_worker_main", kamikaze)
+    report = run_sweep(
+        cells[:1], jobs=2, cache_dir=tmp_path / "cache", retries=1
+    )
+    assert set(report.failures) == {"cell-a"}
+    outcome = report.cells[0]
+    assert outcome.attempts == 2
+    assert "exit code 42" in outcome.error
