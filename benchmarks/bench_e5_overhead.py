@@ -152,6 +152,52 @@ def test_e5_telemetry_overhead_enabled(benchmark):
     assert telemetry.counter("dyconit_commits_total").value > 0
 
 
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_audit_overhead_off(benchmark):
+    """Tick + commit mix with checked mode off (the production default).
+
+    The audit hook must cost one attribute check per tick when disabled;
+    this row is the baseline for the audit-on row below.
+    """
+    system = build_system(subscribers=50, bounds=Bounds.INFINITE)
+    moves = make_moves(200)
+
+    def round_trip():
+        for move in moves:
+            system.commit_to(("chunk", 0, 0), move)
+        system.tick()
+
+    benchmark(round_trip)
+    per_round_us = benchmark.stats.stats.mean * 1e6
+    print(f"\naudit off: {per_round_us:.1f} us per 200-commit round")
+
+
+@pytest.mark.benchmark(group="e5-overhead")
+def test_e5_audit_overhead_on(benchmark):
+    """Same mix plus a full invariant audit per round (checked mode).
+
+    Auditing walks every structure pair (aliases, membership registry,
+    queues, deadline heap), so its cost scales with live state; this row
+    records what ``--audit 1`` costs so users can pick a period.
+    """
+    from repro.core.invariants import InvariantAuditor
+
+    system = build_system(subscribers=50, bounds=Bounds.INFINITE)
+    auditor = InvariantAuditor()
+    moves = make_moves(200)
+
+    def round_trip():
+        for move in moves:
+            system.commit_to(("chunk", 0, 0), move)
+        system.tick()
+        violations = auditor.check(system)
+        assert not violations
+
+    benchmark(round_trip)
+    per_round_us = benchmark.stats.stats.mean * 1e6
+    print(f"\naudit on: {per_round_us:.1f} us per 200-commit round + audit")
+
+
 def test_e5_memory_per_dyconit():
     """Rough memory footprint of an idle dyconit + subscription state."""
     from repro.core.dyconit import Dyconit

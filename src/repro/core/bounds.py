@@ -57,22 +57,33 @@ class Bounds:
             and math.isinf(self.order)
         )
 
-    def exceeded_by(
+    def tripped_dimension(
         self, accumulated_error: float, oldest_age_ms: float, pending_count: int = 0
-    ) -> bool:
-        """True if queued state violates this bound and must flush.
+    ) -> str | None:
+        """The first dimension the queued state violates, or ``None``.
 
         The comparison is strict-greater for the numerical and order
         dimensions so a zero bound trips on the first queued update, and
         greater-or-equal for staleness only when the bound is finite.
+        Precedence (numerical, then staleness, then order) is what flush
+        accounting reports as the flush reason, so it must stay stable.
         """
         if accumulated_error > self.numerical:
-            return True
+            return "numerical"
         if not math.isinf(self.staleness_ms) and oldest_age_ms >= self.staleness_ms:
-            return True
+            return "staleness"
         if pending_count > self.order:
-            return True
-        return False
+            return "order"
+        return None
+
+    def exceeded_by(
+        self, accumulated_error: float, oldest_age_ms: float, pending_count: int = 0
+    ) -> bool:
+        """True if queued state violates this bound and must flush."""
+        return (
+            self.tripped_dimension(accumulated_error, oldest_age_ms, pending_count)
+            is not None
+        )
 
     def scaled(self, factor: float) -> "Bounds":
         """A bound loosened/tightened multiplicatively (used by adaptive

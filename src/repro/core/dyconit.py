@@ -77,9 +77,18 @@ class SubscriptionState:
         return EnqueueResult(superseded=superseded, became_pending=became_pending)
 
     def exceeds_bounds(self, now: float) -> bool:
+        return self.tripped_dimension(now) is not None
+
+    def tripped_dimension(self, now: float) -> str | None:
+        """Which bound dimension the queue currently violates, if any.
+
+        The flush paths use this both as the flush predicate and as the
+        recorded flush reason, so reason accounting can never disagree
+        with the decision to flush.
+        """
         if not self.pending:
-            return False
-        return self.bounds.exceeded_by(
+            return None
+        return self.bounds.tripped_dimension(
             self.accumulated_error, self.oldest_age_ms(now), len(self.pending)
         )
 
@@ -109,6 +118,14 @@ class SubscriptionState:
         items = sorted(self.pending.items(), key=lambda item: item[1].time)
         self.pending.clear()
         self.pending.update(items)
+        if items:
+            # The moved backlog may be older than this queue's previous
+            # head; staleness accounting must age from the true oldest.
+            # (Only ever moved earlier: a superseded update's time may
+            # legitimately predate every surviving entry.)
+            first_time = items[0][1].time
+            if self.oldest_pending_time is None or first_time < self.oldest_pending_time:
+                self.oldest_pending_time = first_time
 
 
 class Dyconit:

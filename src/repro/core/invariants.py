@@ -1,0 +1,345 @@
+"""Checked mode: cross-structure invariant auditing (S15).
+
+The middleware keeps several structures in lockstep — the alias table and
+its reverse map, per-subscriber membership and per-dyconit subscription
+states, the lazy staleness-deadline heap and the queues it covers, and
+the server-side viewer index. Each pair is cheap to maintain but easy to
+desynchronize silently: a missed heap push does not crash, it just
+flushes late and quietly breaks the staleness promise the whole
+evaluation rests on.
+
+:class:`InvariantAuditor` audits every such pair and returns *structured*
+violations instead of asserting, so callers choose the failure mode:
+
+* ``auditor.check(system)`` / ``auditor.check_server(server)`` — APIs
+  returning a list of :class:`Violation`;
+* ``ServerConfig.audit_every_n_ticks`` / ``--audit`` — the engine runs
+  the audit every N ticks and raises :class:`InvariantViolationError`
+  on the first violation (true no-op when disabled, like telemetry);
+* the hypothesis state machine in ``tests/test_invariants_fuzz.py`` —
+  drives random commit/subscribe/merge/split/bounds/tick interleavings
+  against the auditor plus a naive reference model.
+
+Invariant catalogue (one check* method per entry; DESIGN.md S15 lists
+the structure pair each one guards):
+
+I1  alias table acyclicity; ``_aliases`` ↔ ``_alias_sources`` exact
+    mirror; no aliased id owns a live dyconit; no empty source bucket.
+I2  ``_subscriptions_by_subscriber`` ≡ union of per-dyconit
+    ``SubscriptionState`` membership, and both sides only reference
+    registered subscribers.
+I3  deadline-heap coverage: every pending state with a finite staleness
+    bound has a live heap entry under its *current* dyconit id with
+    deadline ≤ ``oldest_pending_time + staleness_ms`` (entries under
+    merged-away ids are skipped lazily and provide no coverage).
+I4  queue accounting: empty queue ⇔ zeroed error and no oldest-pending
+    timestamp; ``pending`` in nondecreasing ``update.time`` order;
+    ``oldest_pending_time`` ≤ the first pending update's time;
+    ``accumulated_error`` ≥ the surviving pending weight (merging only
+    ever adds error, never subtracts it).
+I5  viewer index ≡ brute-force scan of per-session state (the
+    differential ground truth promoted from the viewindex tests).
+I6  per-link FIFO monotone delivery (observed at delivery time by the
+    transport's checked mode; the auditor reports what it recorded).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.manager import DyconitSystem
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected invariant breach."""
+
+    invariant: str  # catalogue key, e.g. "I3.heap-coverage"
+    subject: str  # the structure member at fault, repr-formatted
+    message: str  # what held vs what was expected
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.subject}: {self.message}"
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by the engine's checked mode on a failed audit."""
+
+    def __init__(self, violations: list[Violation]) -> None:
+        self.violations = violations
+        lines = "\n".join(f"  {violation}" for violation in violations)
+        super().__init__(
+            f"{len(violations)} middleware invariant violation(s):\n{lines}"
+        )
+
+
+#: Absolute slack for float comparisons. Deadlines and error sums are
+#: built from the same additions the middleware performs, so violations
+#: are orders of magnitude above this; the slack only absorbs benign
+#: last-bit differences from re-association.
+_EPS = 1e-9
+
+
+class InvariantAuditor:
+    """Audits a :class:`DyconitSystem` (and optionally its server)."""
+
+    def check(self, system: "DyconitSystem") -> list[Violation]:
+        """Run every middleware-level invariant; returns all violations."""
+        violations: list[Violation] = []
+        self._check_alias_tables(system, violations)
+        self._check_subscription_mirror(system, violations)
+        self._check_queue_accounting(system, violations)
+        self._check_deadline_coverage(system, violations)
+        return violations
+
+    def check_server(self, server) -> list[Violation]:
+        """Middleware invariants plus the server-side structure pairs.
+
+        ``server`` is a :class:`~repro.server.engine.GameServer`; in
+        direct mode (no middleware) only the server-side invariants run.
+        """
+        violations: list[Violation] = []
+        if server.dyconits is not None:
+            violations.extend(self.check(server.dyconits))
+        self._check_viewer_index(server, violations)
+        self._check_link_fifo(server, violations)
+        return violations
+
+    def assert_ok(self, system_or_server) -> None:
+        """Raise :class:`InvariantViolationError` if anything is broken."""
+        if hasattr(system_or_server, "transport"):
+            violations = self.check_server(system_or_server)
+        else:
+            violations = self.check(system_or_server)
+        if violations:
+            raise InvariantViolationError(violations)
+
+    # ------------------------------------------------------------------
+    # I1 — alias table ↔ reverse map
+    # ------------------------------------------------------------------
+
+    def _check_alias_tables(self, system, violations: list[Violation]) -> None:
+        aliases: dict[Hashable, Hashable] = system._aliases
+        sources: dict[Hashable, dict[Hashable, None]] = system._alias_sources
+        for source_id in aliases:
+            seen = {source_id}
+            cursor = source_id
+            while cursor in aliases:
+                cursor = aliases[cursor]
+                if cursor in seen:
+                    violations.append(
+                        Violation(
+                            "I1.alias-acyclic",
+                            repr(source_id),
+                            f"alias chain revisits {cursor!r}",
+                        )
+                    )
+                    break
+                seen.add(cursor)
+        for source_id, target_id in aliases.items():
+            if source_id in system._dyconits:
+                violations.append(
+                    Violation(
+                        "I1.alias-no-live-dyconit",
+                        repr(source_id),
+                        "aliased id still owns a live dyconit",
+                    )
+                )
+            if source_id not in sources.get(target_id, ()):
+                violations.append(
+                    Violation(
+                        "I1.alias-mirror",
+                        repr(source_id),
+                        f"missing from _alias_sources[{target_id!r}]",
+                    )
+                )
+        for target_id, bucket in sources.items():
+            if not bucket:
+                violations.append(
+                    Violation(
+                        "I1.alias-mirror",
+                        repr(target_id),
+                        "empty _alias_sources bucket left behind",
+                    )
+                )
+            for source_id in bucket:
+                if aliases.get(source_id) != target_id:
+                    violations.append(
+                        Violation(
+                            "I1.alias-mirror",
+                            repr(source_id),
+                            f"_alias_sources[{target_id!r}] entry not mirrored "
+                            f"in _aliases (maps to {aliases.get(source_id)!r})",
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # I2 — membership ↔ subscription states
+    # ------------------------------------------------------------------
+
+    def _check_subscription_mirror(self, system, violations: list[Violation]) -> None:
+        membership: dict[int, dict[Hashable, None]] = system._subscriptions_by_subscriber
+        registered = set(system._subscribers)
+        if set(membership) != registered:
+            violations.append(
+                Violation(
+                    "I2.membership-registry",
+                    repr(sorted(set(membership) ^ registered)),
+                    "membership keys differ from registered subscribers",
+                )
+            )
+        actual: dict[int, set[Hashable]] = {}
+        for dyconit_id, dyconit in system._dyconits.items():
+            for state in dyconit.subscription_states():
+                subscriber_id = state.subscriber.subscriber_id
+                actual.setdefault(subscriber_id, set()).add(dyconit_id)
+                if subscriber_id not in registered:
+                    violations.append(
+                        Violation(
+                            "I2.membership-registry",
+                            f"subscriber {subscriber_id}",
+                            f"subscribed to {dyconit_id!r} but not registered",
+                        )
+                    )
+        for subscriber_id, members in membership.items():
+            expected = actual.get(subscriber_id, set())
+            if set(members) != expected:
+                violations.append(
+                    Violation(
+                        "I2.membership-mirror",
+                        f"subscriber {subscriber_id}",
+                        f"membership {sorted(map(repr, members))} != per-dyconit "
+                        f"states {sorted(map(repr, expected))}",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # I3 — deadline-heap coverage
+    # ------------------------------------------------------------------
+
+    def _check_deadline_coverage(self, system, violations: list[Violation]) -> None:
+        # Min live deadline per (dyconit, subscriber). Entries under
+        # merged-away ids find no dyconit at pop time and are skipped, so
+        # they must not count as coverage.
+        best: dict[tuple[Hashable, int], float] = {}
+        for deadline, __, dyconit_id, subscriber_id in system._deadline_heap:
+            if dyconit_id not in system._dyconits:
+                continue
+            key = (dyconit_id, subscriber_id)
+            if deadline < best.get(key, math.inf):
+                best[key] = deadline
+        for dyconit_id, dyconit in system._dyconits.items():
+            for state in dyconit.subscription_states():
+                if not state.has_pending or math.isinf(state.bounds.staleness_ms):
+                    continue
+                required = state.oldest_pending_time + state.bounds.staleness_ms
+                covering = best.get((dyconit_id, state.subscriber.subscriber_id))
+                if covering is None:
+                    violations.append(
+                        Violation(
+                            "I3.heap-coverage",
+                            f"({dyconit_id!r}, subscriber "
+                            f"{state.subscriber.subscriber_id})",
+                            f"pending with staleness bound "
+                            f"{state.bounds.staleness_ms:g} ms but no live heap "
+                            f"entry (needs deadline <= {required:g})",
+                        )
+                    )
+                elif covering > required + _EPS:
+                    violations.append(
+                        Violation(
+                            "I3.heap-coverage",
+                            f"({dyconit_id!r}, subscriber "
+                            f"{state.subscriber.subscriber_id})",
+                            f"earliest heap deadline {covering:g} is later than "
+                            f"the bound-implied deadline {required:g} — the "
+                            f"queue will flush late",
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # I4 — per-queue accounting
+    # ------------------------------------------------------------------
+
+    def _check_queue_accounting(self, system, violations: list[Violation]) -> None:
+        for dyconit_id, dyconit in system._dyconits.items():
+            for state in dyconit.subscription_states():
+                subject = f"({dyconit_id!r}, subscriber {state.subscriber.subscriber_id})"
+                if not state.pending:
+                    if state.accumulated_error != 0.0:
+                        violations.append(
+                            Violation(
+                                "I4.queue-zeroed",
+                                subject,
+                                f"empty queue with accumulated_error "
+                                f"{state.accumulated_error:g}",
+                            )
+                        )
+                    if state.oldest_pending_time is not None:
+                        violations.append(
+                            Violation(
+                                "I4.queue-zeroed",
+                                subject,
+                                f"empty queue with oldest_pending_time "
+                                f"{state.oldest_pending_time:g}",
+                            )
+                        )
+                    continue
+                if state.oldest_pending_time is None:
+                    violations.append(
+                        Violation(
+                            "I4.queue-zeroed",
+                            subject,
+                            "pending updates but oldest_pending_time is None",
+                        )
+                    )
+                    continue
+                updates = list(state.pending.values())
+                times = [update.time for update in updates]
+                if any(later < earlier for earlier, later in zip(times, times[1:])):
+                    violations.append(
+                        Violation(
+                            "I4.queue-time-order",
+                            subject,
+                            f"pending times not nondecreasing: {times}",
+                        )
+                    )
+                if state.oldest_pending_time > times[0] + _EPS:
+                    violations.append(
+                        Violation(
+                            "I4.queue-oldest",
+                            subject,
+                            f"oldest_pending_time {state.oldest_pending_time:g} is "
+                            f"later than the first pending update ({times[0]:g}) — "
+                            f"staleness accounting undercounts the backlog's age",
+                        )
+                    )
+                surviving_weight = sum(update.weight for update in updates)
+                if state.accumulated_error + _EPS < surviving_weight:
+                    violations.append(
+                        Violation(
+                            "I4.queue-error-floor",
+                            subject,
+                            f"accumulated_error {state.accumulated_error:g} below "
+                            f"surviving pending weight {surviving_weight:g}",
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # I5 — viewer index ≡ brute-force scan
+    # ------------------------------------------------------------------
+
+    def _check_viewer_index(self, server, violations: list[Violation]) -> None:
+        for message in server.viewers.violations(server.sessions.values()):
+            violations.append(Violation("I5.viewer-index", "ViewerIndex", message))
+
+    # ------------------------------------------------------------------
+    # I6 — per-link FIFO monotone delivery
+    # ------------------------------------------------------------------
+
+    def _check_link_fifo(self, server, violations: list[Violation]) -> None:
+        for message in getattr(server.transport, "fifo_violations", ()):
+            violations.append(Violation("I6.link-fifo", "Transport", message))

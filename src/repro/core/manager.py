@@ -195,11 +195,20 @@ class DyconitSystem:
                         membership[target_id] = None
                 else:
                     merged_state = existing
-                    merged_state.bounds = Bounds(
+                    merged_bounds = Bounds(
                         min(existing.bounds.numerical, state.bounds.numerical),
                         min(existing.bounds.staleness_ms, state.bounds.staleness_ms),
                         min(existing.bounds.order, state.bounds.order),
                     )
+                    if merged_bounds != existing.bounds:
+                        merged_state.bounds = merged_bounds
+                        if merged_state.has_pending:
+                            # Tightening staleness moves the deadline
+                            # *earlier* than any heap entry pushed under
+                            # the old bounds; without a fresh entry the
+                            # backlog flushes late (or, if the source had
+                            # nothing pending below, never by deadline).
+                            self._push_deadline(target_id, merged_state)
                 if state.has_pending:
                     had_backlog = merged_state.has_pending
                     for update in state.drain():
@@ -309,11 +318,18 @@ class DyconitSystem:
         dyconit = self.get_or_create(dyconit_id)
         if bounds is None:
             bounds = self.policy.initial_bounds(self, dyconit_id, subscriber)
-        already = dyconit.is_subscribed(subscriber.subscriber_id)
+        state = dyconit.get_state(subscriber.subscriber_id)
+        if state is not None:
+            # Re-subscribing (e.g. an interest refresh) may change the
+            # bounds; that must go through the same re-check/re-push path
+            # as set_bounds, or a tightened staleness bound on a queued
+            # backlog silently keeps its old (later) deadline.
+            if bounds != state.bounds:
+                self._apply_bounds(dyconit_id, state, bounds)
+            return state
         state = dyconit.subscribe(subscriber, bounds)
-        if not already:
-            self._subscriptions_by_subscriber[subscriber.subscriber_id][dyconit_id] = None
-            self.stats.subscriptions += 1
+        self._subscriptions_by_subscriber[subscriber.subscriber_id][dyconit_id] = None
+        self.stats.subscriptions += 1
         return state
 
     def unsubscribe(
@@ -343,21 +359,28 @@ class DyconitSystem:
         state = dyconit.get_state(subscriber_id)
         if state is None:
             return
-        state.bounds = bounds
         if self.tracer is not None:
             self.tracer.record(
                 self.now, "bounds", dyconit_id, subscriber_id,
                 detail=f"numerical={bounds.numerical:g} staleness={bounds.staleness_ms:g}",
             )
+        self._apply_bounds(dyconit_id, state, bounds)
+
+    def _apply_bounds(
+        self, dyconit_id: Hashable, state: SubscriptionState, bounds: Bounds
+    ) -> None:
+        """Install new bounds on a live subscription and re-check them.
+
+        Shared by :meth:`set_bounds` and re-subscription: a tightened
+        bound must take effect immediately — flush if already exceeded,
+        otherwise re-arm the deadline heap under the new staleness bound.
+        """
+        state.bounds = bounds
         if state.has_pending:
             now = self.now
             self.stats.bound_checks += 1
-            if state.exceeds_bounds(now):
-                reason = (
-                    "numerical"
-                    if state.accumulated_error > bounds.numerical
-                    else "staleness"
-                )
+            reason = state.tripped_dimension(now)
+            if reason is not None:
                 self._deliver(dyconit_id, state, reason=reason)
             else:
                 self._push_deadline(dyconit_id, state)
@@ -395,12 +418,8 @@ class DyconitSystem:
             if result.superseded:
                 self.stats.updates_merged += 1
             self.stats.bound_checks += 1
-            if state.exceeds_bounds(now):
-                reason = (
-                    "numerical"
-                    if state.accumulated_error > state.bounds.numerical
-                    else "staleness"
-                )
+            reason = state.tripped_dimension(now)
+            if reason is not None:
                 self._deliver(dyconit_id, state, reason=reason)
             elif result.became_pending:
                 self._push_deadline(dyconit_id, state)
@@ -445,8 +464,12 @@ class DyconitSystem:
             if state is None or not state.has_pending:
                 continue  # lazy entry: already flushed or unsubscribed
             self.stats.bound_checks += 1
-            if state.exceeds_bounds(now):
-                self._deliver(dyconit_id, state, reason="staleness")
+            reason = state.tripped_dimension(now)
+            if reason is not None:
+                # Usually "staleness" (that is what the heap tracks), but
+                # a backlog moved here by a merge can trip the numerical
+                # or order dimension first; report what actually tripped.
+                self._deliver(dyconit_id, state, reason=reason)
                 flushed += 1
             else:
                 # Deadline moved (bounds loosened or queue drained and
@@ -504,6 +527,8 @@ class DyconitSystem:
             self.stats.flushes_numerical += 1
         elif reason == "staleness":
             self.stats.flushes_staleness += 1
+        elif reason == "order":
+            self.stats.flushes_order += 1
         else:
             self.stats.flushes_forced += 1
         self.stats.updates_delivered += len(updates)

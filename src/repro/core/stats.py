@@ -25,9 +25,11 @@ class DyconitStats:
     updates_merged: int = 0
     flushes: int = 0
     #: Flushes triggered by the numerical-error bound vs the staleness
-    #: bound vs an explicit request (unsubscribe, shutdown, policy).
+    #: bound vs the order (queue-length) bound vs an explicit request
+    #: (unsubscribe, shutdown, policy).
     flushes_numerical: int = 0
     flushes_staleness: int = 0
+    flushes_order: int = 0
     flushes_forced: int = 0
     bound_checks: int = 0
     subscriptions: int = 0
@@ -64,6 +66,7 @@ class DyconitStats:
             "flushes": self.flushes,
             "flushes_numerical": self.flushes_numerical,
             "flushes_staleness": self.flushes_staleness,
+            "flushes_order": self.flushes_order,
             "flushes_forced": self.flushes_forced,
             "bound_checks": self.bound_checks,
             "subscriptions": self.subscriptions,

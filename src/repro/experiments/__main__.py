@@ -45,6 +45,11 @@ def _common(parser: argparse.ArgumentParser) -> None:
         help="content-addressed result cache: completed cells found in DIR "
         "are not re-run, and an interrupted sweep resumes from it",
     )
+    parser.add_argument(
+        "--audit", type=int, nargs="?", const=1, default=0, metavar="TICKS",
+        help="checked mode: audit middleware invariants every TICKS ticks "
+        "(bare --audit = every tick) and abort on the first violation",
+    )
 
 
 def _window(args) -> dict:
@@ -53,6 +58,7 @@ def _window(args) -> dict:
     return dict(
         bots=args.bots, duration_ms=duration_ms, warmup_ms=warmup_ms, seed=args.seed,
         jobs=args.jobs, cache_dir=args.cache_dir,
+        audit_every_n_ticks=args.audit,
     )
 
 
@@ -100,6 +106,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=window["seed"],
                 jobs=window["jobs"],
                 cache_dir=window["cache_dir"],
+                audit_every_n_ticks=window["audit_every_n_ticks"],
             )
             print(out["table"])
         elif name == "e3":
@@ -115,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
                 burst_at_ms=max(duration, 45_000.0) / 3,
                 burst_end_ms=2 * max(duration, 45_000.0) / 3,
                 seed=window["seed"],
+                audit_every_n_ticks=window["audit_every_n_ticks"],
             )
             print(out["table"])
         elif name == "e7":

@@ -96,6 +96,9 @@ class ExperimentConfig:
     faults: FaultPlan | None = None
     #: Session churn schedule (None = stable population).
     churn: ChurnSpec | None = None
+    #: Checked mode (S15): audit middleware invariants every N ticks
+    #: during the run (0 = off); any violation aborts the experiment.
+    audit_every_n_ticks: int = 0
 
     def __post_init__(self) -> None:
         if self.warmup_ms >= self.duration_ms:
@@ -121,6 +124,7 @@ class ExperimentConfig:
             synchronous_delivery=self.synchronous_delivery,
             cost=self.cost,
             faults=self.faults,
+            audit_every_n_ticks=self.audit_every_n_ticks,
             seed=self.seed,
         )
 

@@ -41,6 +41,7 @@ def bandwidth_by_policy(
     policies: tuple[str, ...] = E1_POLICIES,
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E1: steady-state outgoing bandwidth per policy, same workload.
 
@@ -57,6 +58,7 @@ def bandwidth_by_policy(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
             movement="village",
         )
         for policy in plain_policies
@@ -80,6 +82,7 @@ def bandwidth_by_policy(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
             movement="village",
         )
         results["adaptive-bw"] = run_cells(
@@ -149,6 +152,7 @@ def capacity_sweep(
     seed: int = 42,
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E2: p95 tick duration vs player count; capacity at the budget.
 
@@ -174,6 +178,7 @@ def capacity_sweep(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
         )
 
     if jobs > 1:
@@ -261,6 +266,7 @@ def inconsistency_by_policy(
     policies: tuple[str, ...] = ("zero", "fixed", "aoi", "distance", "adaptive", "infinite"),
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E3: distribution of client-observed positional error & staleness.
 
@@ -277,6 +283,7 @@ def inconsistency_by_policy(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
         )
         for policy in policies
     ]
@@ -319,6 +326,7 @@ def latency_by_policy(
     policies: tuple[str, ...] = ("vanilla", "zero", "adaptive"),
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E4: per-packet network latency CDF plus middleware queue delay.
 
@@ -335,6 +343,7 @@ def latency_by_policy(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
             synchronous_delivery=False,
             record_latencies=True,
         )
@@ -377,6 +386,7 @@ def dynamics_timeline(
     burst_at_ms: float = 20_000.0,
     burst_end_ms: float = 40_000.0,
     seed: int = 42,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E6: adaptive policy reacting to a player burst.
 
@@ -390,6 +400,7 @@ def dynamics_timeline(
         duration_ms=duration_ms,
         warmup_ms=min(10_000.0, burst_at_ms / 2),
         seed=seed,
+        audit_every_n_ticks=audit_every_n_ticks,
     )
     hooks = [
         (burst_at_ms, lambda server, workload: workload.add_bots(burst_bots)),
@@ -441,6 +452,7 @@ def policy_summary_table(
     policies: tuple[str, ...] = E7_POLICIES,
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E7: one row per policy across every headline metric."""
     cells = [
@@ -451,6 +463,7 @@ def policy_summary_table(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
         )
         for policy in policies
     ]
@@ -479,6 +492,7 @@ def ablation_merging(
     seed: int = 42,
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E8(a): flush-time merging on vs off under the distance policy."""
     rows = []
@@ -491,6 +505,7 @@ def ablation_merging(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
             merging_enabled=merging,
         )
         for merging in settings
@@ -522,6 +537,7 @@ def ablation_granularity(
     partitioners: tuple[str, ...] = ("chunk", "region:2", "region:4", "global"),
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E8(b): dyconit granularity sweep under the distance policy."""
     rows = []
@@ -533,6 +549,7 @@ def ablation_granularity(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
             partitioner=partitioner,
         )
         for partitioner in partitioners
@@ -593,6 +610,7 @@ def fault_churn_sweep(
     churn: bool = True,
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E9: loss x churn sweep across direct vs dyconit modes.
 
@@ -626,6 +644,7 @@ def fault_churn_sweep(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
             faults=make_fault_plan(loss),
             churn=churn_spec,
         )
@@ -672,6 +691,7 @@ def ablation_policy_period(
     periods_ms: tuple[float, ...] = (250.0, 500.0, 1000.0, 2000.0, 4000.0),
     jobs: int = 1,
     cache_dir=None,
+    audit_every_n_ticks: int = 0,
 ) -> dict:
     """E8(c): adaptive-policy evaluation period sweep."""
     rows = []
@@ -684,6 +704,7 @@ def ablation_policy_period(
             duration_ms=duration_ms,
             warmup_ms=warmup_ms,
             seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
         )
         for period in periods_ms
     ]

@@ -126,6 +126,12 @@ class Transport:
         self.packets_dropped = 0
         #: Connections that reused a previously seen client id.
         self.reconnect_count = 0
+        #: Checked mode (S15): when enabled, each delivery is compared
+        #: against the client's previous one and any FIFO regression is
+        #: recorded here for the invariant auditor. ``None`` = disabled:
+        #: the delivery hot path pays one attribute check and nothing else.
+        self._fifo_last: dict[int, float] | None = None
+        self.fifo_violations: list[str] = []
 
     @property
     def latencies_ms(self) -> list[float]:
@@ -141,6 +147,21 @@ class Transport:
         if self.record_latencies:
             return len(self._exact_latencies)
         return self._latency_reservoir.count
+
+    def enable_fifo_checking(self) -> None:
+        """Turn on checked mode: record per-client delivery-time
+        regressions (the FIFO-per-link contract) in ``fifo_violations``."""
+        if self._fifo_last is None:
+            self._fifo_last = {}
+
+    def _check_fifo(self, client_id: int, delivered_at: float) -> None:
+        last = self._fifo_last.get(client_id)
+        if last is not None and delivered_at < last:
+            self.fifo_violations.append(
+                f"client {client_id}: delivery at {delivered_at:g} ms after a "
+                f"delivery at {last:g} ms — link reordered"
+            )
+        self._fifo_last[client_id] = delivered_at
 
     def _record_latency(self, latency_ms: float) -> None:
         if self.record_latencies:
@@ -194,6 +215,10 @@ class Transport:
                 self._tm_reconnects.increment()
         self._links[client_id] = client_link
         self._handlers[client_id] = handler
+        if self._fifo_last is not None:
+            # The FIFO contract is per connection: a rejoining client's
+            # fresh link starts its own delivery order.
+            self._fifo_last.pop(client_id, None)
         return client_link
 
     def disconnect(self, client_id: int) -> None:
@@ -236,6 +261,8 @@ class Transport:
                 packet=packet, sent_at=now, delivered_at=delivery_time
             )
             self._record_latency(delivered.latency_ms)
+            if self._fifo_last is not None:
+                self._check_fifo(client_id, delivery_time)
             handler(delivered)
             return
 
@@ -252,6 +279,8 @@ class Transport:
                 packet=packet, sent_at=now, delivered_at=self.sim.now
             )
             self._record_latency(delivered.latency_ms)
+            if self._fifo_last is not None:
+                self._check_fifo(client_id, self.sim.now)
             handler(delivered)
 
         self.sim.schedule_at(delivery_time, deliver)

@@ -51,6 +51,10 @@ class ElasticPartitioningPolicy(Policy):
         self.evaluation_period_ms = evaluation_period_ms
         self._last_commit_counts: dict[Hashable, int] = {}
         self._last_evaluation_ms: float | None = None
+        #: Commit rates computed in the most recent evaluation window
+        #: (diagnostic; the fuzz harness checks these against a reference
+        #: model to pin down baseline accounting across repartitions).
+        self.last_window_rates: dict[Hashable, float] = {}
         self.merges = 0
         self.splits = 0
 
@@ -105,6 +109,7 @@ class ElasticPartitioningPolicy(Policy):
             previous = self._last_commit_counts.get(dyconit_id, 0)
             rates[dyconit_id] = (count - previous) / window_s
         self._last_commit_counts = current_counts
+        self.last_window_rates = rates
 
         self._merge_cold_regions(system, rates)
         self._split_hot_regions(system, rates)
@@ -120,7 +125,19 @@ class ElasticPartitioningPolicy(Policy):
                 continue
             total_rate = sum(rates[dyconit_id] for dyconit_id in members)
             if total_rate <= self.cold_commits_per_second:
-                system.merge_dyconits(members, self._merged_id(region))
+                merged_id = self._merged_id(region)
+                system.merge_dyconits(members, merged_id)
+                # Merging sums the members' commit counters into the
+                # target, so the target's baseline must absorb the
+                # members' baselines: diffing the merged counter against
+                # a zero baseline next window would misread the whole
+                # merged history as fresh traffic and instantly split a
+                # region that was cold enough to merge (thrash).
+                baselines = self._last_commit_counts
+                carried = baselines.pop(merged_id, 0)
+                for member in members:
+                    carried += baselines.pop(member, 0)
+                baselines[merged_id] = carried
                 self.merges += 1
                 self._count_repartition(system, "merge")
 
@@ -133,7 +150,16 @@ class ElasticPartitioningPolicy(Policy):
                 and dyconit_id[1] == self.region_size
                 and rate >= self.hot_commits_per_second
             ):
-                system.split_dyconit(dyconit_id)
+                released = system.split_dyconit(dyconit_id)
+                # The region's counter (and its baseline) die with the
+                # split; the released chunks restart counting from zero.
+                # A leftover region baseline would go negative if the
+                # region re-merges later; a stale chunk baseline would
+                # suppress the chunks' real post-split rates.
+                baselines = self._last_commit_counts
+                baselines.pop(dyconit_id, None)
+                for source_id in released:
+                    baselines[source_id] = 0
                 self.splits += 1
                 self._count_repartition(system, "split")
 

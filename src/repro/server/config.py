@@ -38,6 +38,11 @@ class ServerConfig:
     #: Fleet-wide fault plan applied to every client link (None = no
     #: fault layer; per-client plans can be passed to ``connect``).
     faults: FaultPlan | None = None
+    #: Checked mode (S15): run the cross-structure invariant audit every
+    #: N ticks and abort the run on the first violation. 0 disables it
+    #: entirely — the tick path then pays a single ``is None`` check,
+    #: matching the telemetry no-op pattern.
+    audit_every_n_ticks: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -47,3 +52,7 @@ class ServerConfig:
             raise ValueError(f"view distance must be >= 1, got {self.view_distance}")
         if self.mob_count < 0:
             raise ValueError(f"mob count must be >= 0, got {self.mob_count}")
+        if self.audit_every_n_ticks < 0:
+            raise ValueError(
+                f"audit period must be >= 0 ticks, got {self.audit_every_n_ticks}"
+            )

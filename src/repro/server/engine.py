@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+from repro.core.invariants import InvariantAuditor, InvariantViolationError
 from repro.core.manager import DyconitSystem
 from repro.faults.plan import FaultPlan
 from repro.core.partition import ChunkPartitioner, DyconitPartitioner
@@ -50,6 +51,12 @@ from repro.server.viewindex import ViewerIndex
 
 #: EWMA smoothing factor for tick duration (signal the adaptive policy uses).
 TICK_EWMA_ALPHA = 0.2
+
+#: Fallback audit period applied when ``ServerConfig.audit_every_n_ticks``
+#: is 0. The test suite's autouse fixture sets this from the
+#: ``REPRO_AUDIT_EVERY_N_TICKS`` environment variable so the *entire*
+#: existing suite can run under checked mode without touching each test.
+AUDIT_DEFAULT_EVERY_N_TICKS = 0
 
 
 class GameServer:
@@ -91,6 +98,18 @@ class GameServer:
         self.use_viewer_index = self.config.use_viewer_index
         self.cost_model = TickCostModel(self.config.cost)
         self.metrics = MetricsRegistry()
+        #: Checked mode (S15): audit the cross-structure invariants every
+        #: N ticks; a violation aborts the run with a precise report. A
+        #: disabled audit is a true no-op (auditor stays None; the tick
+        #: path pays one attribute check).
+        self._audit_every_n_ticks = (
+            self.config.audit_every_n_ticks or AUDIT_DEFAULT_EVERY_N_TICKS
+        )
+        if self._audit_every_n_ticks > 0:
+            self._auditor = InvariantAuditor()
+            self.transport.enable_fifo_checking()
+        else:
+            self._auditor = None
 
         self.dyconits: DyconitSystem | None = None
         if not direct_mode:
@@ -442,10 +461,32 @@ class GameServer:
             with telemetry.span("tick.policy"):
                 self.dyconits.evaluate_policy(self.load_signals(duration))
 
-        # 7. Schedule the next tick. An overloaded tick pushes the next
+        # 7. Checked mode: audit the middleware + server structure pairs.
+        if self._auditor is not None and self.tick_count % self._audit_every_n_ticks == 0:
+            self.audit_now()
+
+        # 8. Schedule the next tick. An overloaded tick pushes the next
         #    one out, dropping the effective tick rate below 20 Hz.
         delay = max(self.config.tick_interval_ms, duration)
         self._tick_event = self.sim.schedule(delay, self._tick)
+
+    def audit_now(self) -> None:
+        """Run one invariant audit; raises on any violation.
+
+        Called by the tick loop every ``audit_every_n_ticks`` ticks, and
+        directly by tests that want a final barrier audit.
+        """
+        auditor = self._auditor if self._auditor is not None else InvariantAuditor()
+        with self.telemetry.span("tick.audit"):
+            violations = auditor.check_server(self)
+        if self.telemetry.enabled:
+            self.telemetry.counter("invariant_checks_total").increment()
+            if violations:
+                self.telemetry.counter("invariant_violations_total").increment(
+                    len(violations)
+                )
+        if violations:
+            raise InvariantViolationError(violations)
 
     def load_signals(self, last_tick_duration_ms: float | None = None) -> LoadSignals:
         return LoadSignals(

@@ -131,13 +131,11 @@ class ViewerIndex:
         """Total (chunk, session) pairs — the index's working-set size."""
         return sum(len(bucket) for bucket in self._viewers_by_chunk.values())
 
-    def audit(self, sessions: Iterable["PlayerSession"]) -> None:
-        """Assert both maps are the exact inverse of per-session state.
-
-        Used by the property tests after arbitrary interleavings of
-        join / refresh / crossing / disconnect; raises AssertionError
-        with a precise message on the first violation found.
-        """
+    def violations(self, sessions: Iterable["PlayerSession"]) -> list[str]:
+        """Differential ground truth: compare both maps against a
+        brute-force scan of per-session state; returns one message per
+        divergence (empty list = exact inverse). This is the check the
+        invariant auditor (S15 checked mode) runs every N ticks."""
         sessions = list(sessions)
         expected_viewers: dict[ChunkPos, set[int]] = {}
         expected_knowers: dict[int, set[int]] = {}
@@ -153,15 +151,31 @@ class ViewerIndex:
             entity_id: set(bucket)
             for entity_id, bucket in self._knowers_by_entity.items()
         }
-        assert actual_viewers == expected_viewers, (
-            f"viewer index diverged from session.view_chunks: "
-            f"index={actual_viewers} expected={expected_viewers}"
-        )
-        assert actual_knowers == expected_knowers, (
-            f"knower index diverged from session.known_entities: "
-            f"index={actual_knowers} expected={expected_knowers}"
-        )
+        found: list[str] = []
+        if actual_viewers != expected_viewers:
+            found.append(
+                f"viewer index diverged from session.view_chunks: "
+                f"index={actual_viewers} expected={expected_viewers}"
+            )
+        if actual_knowers != expected_knowers:
+            found.append(
+                f"knower index diverged from session.known_entities: "
+                f"index={actual_knowers} expected={expected_knowers}"
+            )
         for chunk, bucket in self._viewers_by_chunk.items():
-            assert bucket, f"empty viewer bucket left behind for {chunk}"
+            if not bucket:
+                found.append(f"empty viewer bucket left behind for {chunk}")
         for entity_id, bucket in self._knowers_by_entity.items():
-            assert bucket, f"empty knower bucket left behind for entity {entity_id}"
+            if not bucket:
+                found.append(f"empty knower bucket left behind for entity {entity_id}")
+        return found
+
+    def audit(self, sessions: Iterable["PlayerSession"]) -> None:
+        """Assert both maps are the exact inverse of per-session state.
+
+        Used by the property tests after arbitrary interleavings of
+        join / refresh / crossing / disconnect; raises AssertionError
+        with a precise message on the first violation found.
+        """
+        for message in self.violations(sessions):
+            raise AssertionError(message)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.subscription import Subscriber
@@ -9,6 +11,23 @@ from repro.server.config import ServerConfig
 from repro.server.engine import GameServer
 from repro.sim.simulator import Simulation
 from repro.world.world import World
+
+
+@pytest.fixture(autouse=True)
+def _checked_mode_from_env(monkeypatch):
+    """Run the whole suite under checked mode (S15) on demand.
+
+    ``REPRO_AUDIT_EVERY_N_TICKS=N`` makes every server the suite builds
+    audit its invariants every N ticks, without touching a single test:
+    it overrides the engine's fallback period, which only applies when a
+    test did not ask for auditing itself. CI runs the suite once plain
+    and once with this set to 1.
+    """
+    period = int(os.environ.get("REPRO_AUDIT_EVERY_N_TICKS", "0"))
+    if period > 0:
+        from repro.server import engine
+
+        monkeypatch.setattr(engine, "AUDIT_DEFAULT_EVERY_N_TICKS", period)
 
 
 @pytest.fixture

@@ -1,0 +1,119 @@
+"""Checked-mode integration: auditing is observational.
+
+Two guarantees worth an end-to-end test:
+
+* **Audit-off ≡ audit-on.** The auditor only *reads* middleware and
+  server state, so enabling it must not change a single packet any
+  client receives. A full workload run with ``audit_every_n_ticks=1``
+  (plus per-link FIFO checking) must be packet-for-packet identical to
+  the same run with auditing disabled.
+
+* **Real policies run clean.** A busy workload under each shipped policy
+  family — including elastic repartitioning, whose merge/split cycles
+  exercise every structure pair the auditor covers — finishes a fully
+  audited run with zero violations.
+"""
+
+import pytest
+
+from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+from repro.core.bounds import Bounds
+from repro.policies.adaptive import AdaptiveBoundsPolicy
+from repro.policies.distance import DistanceBasedPolicy
+from repro.policies.elastic import ElasticPartitioningPolicy
+from repro.policies.fixed import FixedBoundsPolicy
+from repro.server.config import ServerConfig
+from repro.server.engine import GameServer
+from repro.sim.simulator import Simulation
+from repro.world.world import World
+
+
+def run_capture(policy, audit_every_n_ticks: int, duration_ms: float = 6_000.0):
+    """Run a small busy workload; capture per-client packet streams."""
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        world=World(seed=99),
+        config=ServerConfig(
+            seed=99,
+            synchronous_delivery=True,
+            mob_count=3,
+            audit_every_n_ticks=audit_every_n_ticks,
+        ),
+        policy=policy,
+    )
+    server.start()
+    spec = WorkloadSpec(
+        bots=8,
+        seed=99,
+        movement="hotspot",
+        behavior=BehaviorMix(build=0.1, dig=0.05, chat=0.01),
+        arrival_stagger_ms=40.0,
+    )
+    workload = Workload(sim, server, spec)
+
+    captures: dict[str, list] = {}
+    original_connect = server.connect
+
+    def tapping_connect(name, handler, **kwargs):
+        log = captures.setdefault(name, [])
+
+        def tapped(delivered):
+            log.append(delivered.packet)
+            handler(delivered)
+
+        return original_connect(name, tapped, **kwargs)
+
+    server.connect = tapping_connect
+    workload.start()
+    sim.run_until(duration_ms)
+    return captures, server
+
+
+def test_audit_on_is_packet_identical_to_audit_off(monkeypatch):
+    # Pin the suite-wide fallback (REPRO_AUDIT_EVERY_N_TICKS) to 0 so the
+    # config flag alone decides which side of the differential audits.
+    from repro.server import engine
+
+    monkeypatch.setattr(engine, "AUDIT_DEFAULT_EVERY_N_TICKS", 0)
+    plain, plain_server = run_capture(
+        FixedBoundsPolicy(Bounds(25.0, 500.0)), audit_every_n_ticks=0
+    )
+    audited, audited_server = run_capture(
+        FixedBoundsPolicy(Bounds(25.0, 500.0)), audit_every_n_ticks=1
+    )
+
+    assert plain_server._auditor is None  # off means truly off
+    assert audited_server._auditor is not None
+
+    assert set(plain) == set(audited)
+    for name in plain:
+        assert plain[name] == audited[name], f"packet stream diverged for {name}"
+    assert plain_server.transport.total_bytes() == audited_server.transport.total_bytes()
+    assert (
+        plain_server.transport.packets_by_kind()
+        == audited_server.transport.packets_by_kind()
+    )
+
+
+@pytest.mark.parametrize(
+    "make_policy",
+    [
+        lambda: FixedBoundsPolicy(Bounds(25.0, 500.0)),
+        lambda: DistanceBasedPolicy(),
+        lambda: AdaptiveBoundsPolicy(),
+        lambda: ElasticPartitioningPolicy(
+            inner=DistanceBasedPolicy(),
+            region_size=2,
+            cold_commits_per_second=2.0,
+            hot_commits_per_second=20.0,
+            evaluation_period_ms=500.0,
+        ),
+    ],
+    ids=["fixed", "distance", "adaptive", "elastic"],
+)
+def test_every_policy_family_runs_fully_audited(make_policy):
+    __, server = run_capture(make_policy(), audit_every_n_ticks=1)
+    server.audit_now()  # final barrier audit on top of the per-tick ones
+    assert server.tick_count > 0
+    assert not server.transport.fifo_violations
