@@ -24,8 +24,10 @@ faults are configured.
 (cold serial vs cold ``--jobs N`` vs warm-cache rerun over a small
 E1+E9-shaped grid) and writes BENCH_sweep.json. The payload records the
 machine's CPU count next to the speedup — on a single-core box the
-parallel speedup is ~1x by construction and only the warm-cache fraction
-and byte-identity check are meaningful.
+speedup is *suppressed* (``parallel_speedup: null`` plus an explanatory
+``parallel_speedup_suppressed`` note): workers time-slicing one core
+measure scheduler overhead, not parallelism. Only the warm-cache
+fraction and byte-identity check are meaningful there.
 """
 
 from __future__ import annotations
@@ -147,8 +149,13 @@ def main() -> None:
                 f"{row['mode']:<14} {row['jobs']:>5} "
                 f"{row['cache_hits']:>11} {row['wall_s']:>9.3f}"
             )
+        speedup = sweep_payload["parallel_speedup"]
+        speedup_text = (
+            f"{speedup}x" if speedup is not None
+            else "suppressed (single-CPU host)"
+        )
         print(
-            f"parallel speedup: {sweep_payload['parallel_speedup']}x "
+            f"parallel speedup: {speedup_text} "
             f"({sweep_payload['params']['cpu_count']} CPUs); "
             f"warm rerun: {100 * sweep_payload['warm_fraction_of_cold']:.1f}% "
             f"of cold; stores byte-identical: "

@@ -3,13 +3,15 @@
 
 Usage: [PYTHONPATH=src] python scripts/determinism_check.py [--jobs N]
 
-Runs a four-cell E1+E9-shaped sweep and prints, one per line, each
-cell's cache key (the content-addressed config digest) followed by the
-sha256 of the merged result store. CI runs this twice under different
+Runs a five-cell sweep — four E1+E9-shaped single-server cells plus a
+2-shard cluster cell (S16) — and prints, one per line, each cell's cache
+key (the content-addressed config digest) followed by the sha256 of the
+merged result store. CI runs this twice under different
 ``PYTHONHASHSEED`` values and diffs the output: any dependence on dict
 iteration order, set ordering, or ``hash()`` in the config
-normalization, the simulation, or the store serialization shows up as a
-digest mismatch.
+normalization, the simulation (including the inter-shard bus pump and
+handoff ordering), or the store serialization shows up as a digest
+mismatch.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.experiments.configs import ExperimentConfig  # noqa: E402
 from repro.experiments.parallel import (  # noqa: E402
     config_digest,
     default_bench_cells,
@@ -38,6 +41,20 @@ def main() -> None:
     args = parser.parse_args()
 
     cells = default_bench_cells(bots=4, duration_ms=2_000.0, points=4)
+    # A sharded cell exercises the cross-shard bus, handoffs, and ghost
+    # replication — the paths most likely to leak hash-order dependence.
+    cells.append(
+        ExperimentConfig(
+            name="det-cluster-2shard",
+            policy="adaptive",
+            movement="gathering",
+            bots=6,
+            duration_ms=3_000.0,
+            warmup_ms=1_000.0,
+            seed=19,
+            shards=2,
+        )
+    )
     for cell in cells:
         print(f"cell {cell.name} {config_digest(cell)}")
 

@@ -176,6 +176,13 @@ class BotClient:
         packet = delivered.packet
         if isinstance(packet, JoinGamePacket):
             self.entity_id = packet.entity_id
+            # A JoinGame marks a brand-new server-side session — either
+            # this connect, or a cross-shard handoff (S16) that rebuilt
+            # the session elsewhere. Server state starts from scratch
+            # (sync-on-join replays the view), so the replica must too;
+            # keeping stale entries would double-count replicas the new
+            # session re-announces.
+            self.perceived = PerceivedWorld()
             return
         self.perceived.apply(delivered)
 

@@ -10,6 +10,10 @@ models differ in where the waypoints land:
   as the hard case for interest management.
 * :class:`TrekModel` — a long directed walk; maximizes chunk churn, the
   exploration workload.
+* :class:`GatheringModel` — every bot converges on *one* point and mills
+  around it; the worst case for interest management (everyone sees
+  everyone), and, with the target on a shard border, the hotspot case
+  for cross-shard federation.
 """
 
 from __future__ import annotations
@@ -95,6 +99,34 @@ class HotspotModel(MovementModel):
             position.x + distance * math.cos(angle),
             0.0,
             position.z + distance * math.sin(angle),
+        )
+
+
+class GatheringModel(MovementModel):
+    """A mass gathering: every waypoint lands within ``jitter`` blocks of
+    one shared target, so the whole fleet converges there and then mills
+    around it.
+
+    Interest management degenerates (all pairs stay mutually visible and
+    every update fans out to everyone), and with the default target at
+    the world origin — always a strip boundary under the cluster's
+    router — the crowd permanently straddles a shard border, maximizing
+    cross-shard dyconit traffic and handoff churn.
+    """
+
+    def __init__(self, target: Vec3 = Vec3(0.0, 0.0, 0.0), jitter: float = 10.0) -> None:
+        if jitter <= 0:
+            raise ValueError(f"jitter must be positive, got {jitter}")
+        self.target = target
+        self.jitter = jitter
+
+    def next_waypoint(self, rng: random.Random, position: Vec3) -> Vec3:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        distance = self.jitter * math.sqrt(rng.random())
+        return Vec3(
+            self.target.x + distance * math.cos(angle),
+            0.0,
+            self.target.z + distance * math.sin(angle),
         )
 
 

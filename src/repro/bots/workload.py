@@ -17,6 +17,7 @@ from repro.sim.simulator import Simulation
 from repro.world.geometry import Vec3
 from repro.bots.bot import BotClient
 from repro.bots.movement import (
+    GatheringModel,
     HotspotModel,
     MovementModel,
     RandomWaypointModel,
@@ -51,7 +52,7 @@ class WorkloadSpec:
 
     bots: int = 50
     seed: int = 0
-    movement: str = "hotspot"  # "hotspot" | "village" | "uniform" | "trek"
+    movement: str = "hotspot"  # "hotspot" | "village" | "uniform" | "trek" | "gathering"
     behavior: BehaviorMix = field(default_factory=lambda: BUILDER_MIX)
     act_interval_ms: float = 100.0
     #: Delay between successive bot connects (0 = all at once).
@@ -64,7 +65,7 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         if self.bots < 0:
             raise ValueError(f"bot count must be >= 0, got {self.bots}")
-        if self.movement not in ("hotspot", "village", "uniform", "trek"):
+        if self.movement not in ("hotspot", "village", "uniform", "trek", "gathering"):
             raise ValueError(f"unknown movement model {self.movement!r}")
 
 
@@ -136,6 +137,10 @@ class Workload:
             )
         if self.spec.movement == "uniform":
             return RandomWaypointModel(radius=96.0)
+        if self.spec.movement == "gathering":
+            # Mass gathering at the world origin — always a shard-strip
+            # boundary, so under a cluster the crowd straddles a border.
+            return GatheringModel()
         # trek: fan bots out on distinct headings so they churn new chunks
         return TrekModel(heading_degrees=index * (360.0 / max(1, self.spec.bots)))
 

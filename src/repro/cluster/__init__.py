@@ -1,0 +1,32 @@
+"""Sharded multi-server world with cross-shard dyconit federation (S16).
+
+``repro.cluster`` partitions the world across N logical server shards.
+Each shard is a full :class:`~repro.server.engine.GameServer` — its own
+tick loop, interest manager, transport, and dyconit system — owning a
+contiguous strip of chunk columns assigned by :class:`ShardRouter`.
+Cross-shard visibility reuses the dyconit protocol unchanged: a shard
+subscribes to a neighbour's border-chunk dyconits as a *peer* subscriber
+under its own :class:`~repro.core.bounds.Bounds`, so bounded staleness
+applies identically between servers and between a server and a client.
+
+Determinism is the load-bearing design constraint: all shards run inside
+one discrete-event simulation, shards tick in fixed creation order, and
+every cross-shard message travels over :class:`InterShardBus` — per-edge
+FIFO queues with sequence numbers, drained at a barrier in sorted edge
+order — so an N-shard run is a pure function of the seed. The
+single-server path is retained untouched as ground truth; the 1-shard
+cluster is packet-for-packet identical to it.
+"""
+
+from repro.cluster.bus import InterShardBus
+from repro.cluster.facade import ClusterWorldView, ShardedCluster
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import ShardServer
+
+__all__ = [
+    "InterShardBus",
+    "ClusterWorldView",
+    "ShardedCluster",
+    "ShardRouter",
+    "ShardServer",
+]

@@ -1,0 +1,206 @@
+"""Inter-shard wire messages.
+
+Everything that crosses a shard boundary is one of these frozen records.
+They are deliberately *plain data* — entity kinds travel as their enum
+value, positions as floats — so a future process-per-shard deployment
+could serialize them unchanged; in-process they double as the unit of
+the bus's deterministic FIFO ordering.
+
+Each message models a wire size (same style as
+:mod:`repro.net.protocol`: a fixed header plus a payload estimate) so
+experiments can report inter-shard dyconit bandwidth in the same units
+as client bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import Bounds
+from repro.world.geometry import ChunkPos
+
+#: Fixed per-message envelope: edge ids, sequence number, kind tag.
+MESSAGE_OVERHEAD = 12
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMessage:
+    """Base class for everything the bus carries."""
+
+    def body_size(self) -> int:
+        raise NotImplementedError
+
+    def wire_size(self) -> int:
+        return MESSAGE_OVERHEAD + self.body_size()
+
+
+# ----------------------------------------------------------------------
+# Ghost records: one world mutation, enriched for replay without access
+# to the publisher's world. Carried inside PeerUpdates / PeerSnapshot.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class GhostSpawn:
+    entity_id: int
+    kind_value: str  #: EntityKind.value
+    x: float
+    y: float
+    z: float
+    name: str = ""
+    time: float = 0.0
+
+    def body_size(self) -> int:
+        return 26 + len(self.name)
+
+
+@dataclass(frozen=True, slots=True)
+class GhostMove:
+    entity_id: int
+    x: float
+    y: float
+    z: float
+    yaw: float
+    pitch: float
+    time: float
+    #: Spawn-on-first-sight data: a move can arrive for an entity the
+    #: subscriber has never seen (it entered interest mid-flight).
+    kind_value: str = ""
+    name: str = ""
+
+    def body_size(self) -> int:
+        return 22
+
+    @property
+    def spawnable(self) -> bool:
+        return bool(self.kind_value)
+
+
+@dataclass(frozen=True, slots=True)
+class GhostDespawn:
+    entity_id: int
+    x: float
+    y: float
+    z: float
+    time: float = 0.0
+
+    def body_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True, slots=True)
+class GhostBlock:
+    x: int
+    y: int
+    z: int
+    block_value: int
+    time: float = 0.0
+
+    def body_size(self) -> int:
+        return 12
+
+
+@dataclass(frozen=True, slots=True)
+class GhostChat:
+    sender_id: int
+    text: str
+    time: float = 0.0
+
+    def body_size(self) -> int:
+        return 6 + len(self.text)
+
+
+GhostRecord = GhostSpawn | GhostMove | GhostDespawn | GhostBlock | GhostChat
+
+
+def records_size(records: tuple) -> int:
+    return sum(record.body_size() for record in records)
+
+
+# ----------------------------------------------------------------------
+# Federation control plane
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PeerSubscribe(ShardMessage):
+    """Subscriber shard asks the owner to feed it one border chunk's
+    dyconit under the subscriber's own bounds."""
+
+    chunk: ChunkPos
+    bounds: Bounds
+
+    def body_size(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True, slots=True)
+class PeerUnsubscribe(ShardMessage):
+    chunk: ChunkPos
+
+    def body_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True, slots=True)
+class PeerSnapshot(ShardMessage):
+    """Initial state of a freshly peer-subscribed chunk: every entity the
+    owner holds there (the dyconit stream only carries deltas)."""
+
+    chunk: ChunkPos
+    records: tuple
+
+    def body_size(self) -> int:
+        return 8 + records_size(self.records)
+
+
+@dataclass(frozen=True, slots=True)
+class PeerUpdates(ShardMessage):
+    """A dyconit flush (or an interest-crossing correction) bound for a
+    peer shard's ghost replicas."""
+
+    records: tuple
+
+    def body_size(self) -> int:
+        return 2 + records_size(self.records)
+
+
+# ----------------------------------------------------------------------
+# Ownership transfer
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SessionHandoff(ShardMessage):
+    """A player session whose avatar crossed into the target's region.
+
+    Carries identity only — the target rebuilds the session from the
+    cluster's client profile (handler, link, fault plan) exactly like a
+    fresh connect, so handoff inherits connect's from-scratch semantics.
+    """
+
+    client_id: int
+    entity_id: int
+    x: float
+    y: float
+    z: float
+    yaw: float = 0.0
+    pitch: float = 0.0
+
+    def body_size(self) -> int:
+        return 40
+
+
+@dataclass(frozen=True, slots=True)
+class EntityTransfer(ShardMessage):
+    """A server-owned entity (mob) that wandered across the border."""
+
+    entity_id: int
+    kind_value: str
+    x: float
+    y: float
+    z: float
+    name: str = ""
+
+    def body_size(self) -> int:
+        return 30 + len(self.name)

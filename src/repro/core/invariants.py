@@ -41,6 +41,18 @@ I5  viewer index ≡ brute-force scan of per-session state (the
     differential ground truth promoted from the viewindex tests).
 I6  per-link FIFO monotone delivery (observed at delivery time by the
     transport's checked mode; the auditor reports what it recorded).
+I7  unique entity ownership (cluster, S16): every entity id is
+    authoritative — present in a shard's world and not in its ghost
+    set — on *exactly one* shard; ids riding the bus inside a pending
+    SessionHandoff/EntityTransfer are excused (they are mid-transfer by
+    construction). Ghost bookkeeping must be backed: every ghost id
+    names a live entity in that shard's world.
+I8  mirrored border subscriptions (cluster, S16): at the post-pump
+    barrier, shard A's ``remote_interest[P]`` equals P's
+    ``peer_registry[A]`` chunk for chunk, and every registered chunk's
+    dyconit (alias-resolved) carries the peer's subscription in P's
+    middleware. Pairs with control messages still in flight are skipped
+    — the mirror is only promised at the barrier.
 """
 
 from __future__ import annotations
@@ -108,9 +120,33 @@ class InvariantAuditor:
         self._check_link_fifo(server, violations)
         return violations
 
+    def check_cluster(self, cluster) -> list[Violation]:
+        """Per-shard server invariants plus the cross-shard pairs.
+
+        ``cluster`` is a :class:`~repro.cluster.facade.ShardedCluster`.
+        Meant to run at the pump barrier (bus drained); anything
+        legitimately in flight on the bus is excused explicitly rather
+        than by loosening the checks.
+        """
+        violations: list[Violation] = []
+        for shard in cluster.shards:
+            for violation in self.check_server(shard):
+                violations.append(
+                    Violation(
+                        violation.invariant,
+                        f"shard {shard.shard_id}: {violation.subject}",
+                        violation.message,
+                    )
+                )
+        self._check_unique_ownership(cluster, violations)
+        self._check_subscription_mirror_cluster(cluster, violations)
+        return violations
+
     def assert_ok(self, system_or_server) -> None:
         """Raise :class:`InvariantViolationError` if anything is broken."""
-        if hasattr(system_or_server, "transport"):
+        if hasattr(system_or_server, "shards"):
+            violations = self.check_cluster(system_or_server)
+        elif hasattr(system_or_server, "transport"):
             violations = self.check_server(system_or_server)
         else:
             violations = self.check(system_or_server)
@@ -343,3 +379,130 @@ class InvariantAuditor:
     def _check_link_fifo(self, server, violations: list[Violation]) -> None:
         for message in getattr(server.transport, "fifo_violations", ()):
             violations.append(Violation("I6.link-fifo", "Transport", message))
+
+    # ------------------------------------------------------------------
+    # I7 — unique entity ownership across shards
+    # ------------------------------------------------------------------
+
+    def _check_unique_ownership(self, cluster, violations: list[Violation]) -> None:
+        # Ids inside pending transfer messages are mid-flight between
+        # owners by construction; everything else must resolve to exactly
+        # one authoritative copy *right now*.
+        in_flight: set[int] = set()
+        #: (dst shard, entity id) with a despawn record still on the bus:
+        #: the owner already dropped the entity, the ghost dies at the
+        #: next pump — excusable exactly on that shard.
+        pending_despawns: set[tuple[int, int]] = set()
+        for edge, messages in cluster.bus.pending_by_edge().items():
+            for message in messages:
+                entity_id = getattr(message, "entity_id", None)
+                if entity_id is not None and hasattr(message, "client_id"):
+                    in_flight.add(entity_id)  # SessionHandoff
+                elif entity_id is not None and hasattr(message, "kind_value"):
+                    in_flight.add(entity_id)  # EntityTransfer
+                for record in getattr(message, "records", ()):
+                    if type(record).__name__ == "GhostDespawn":
+                        pending_despawns.add((edge[1], record.entity_id))
+        owners: dict[int, list[int]] = {}
+        for shard in cluster.shards:
+            for entity in shard.world.entities():
+                if entity.entity_id not in shard.ghost_ids:
+                    owners.setdefault(entity.entity_id, []).append(shard.shard_id)
+        for entity_id in sorted(owners):
+            shard_ids = owners[entity_id]
+            if len(shard_ids) > 1 and entity_id not in in_flight:
+                violations.append(
+                    Violation(
+                        "I7.unique-ownership",
+                        f"entity {entity_id}",
+                        f"authoritative on shards {shard_ids} simultaneously",
+                    )
+                )
+        for shard in cluster.shards:
+            for ghost_id in sorted(shard.ghost_ids):
+                if shard.world.get_entity(ghost_id) is None:
+                    violations.append(
+                        Violation(
+                            "I7.ghost-backed",
+                            f"shard {shard.shard_id}: entity {ghost_id}",
+                            "ghost bookkeeping without a live entity",
+                        )
+                    )
+                elif (
+                    ghost_id not in owners
+                    and ghost_id not in in_flight
+                    and (shard.shard_id, ghost_id) not in pending_despawns
+                ):
+                    violations.append(
+                        Violation(
+                            "I7.ghost-of-nobody",
+                            f"shard {shard.shard_id}: entity {ghost_id}",
+                            "ghost replica of an entity no shard owns",
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # I8 — mirrored cross-shard subscriptions
+    # ------------------------------------------------------------------
+
+    def _check_subscription_mirror_cluster(
+        self, cluster, violations: list[Violation]
+    ) -> None:
+        from repro.cluster.messages import PeerSubscribe, PeerUnsubscribe
+        from repro.cluster.shard import peer_subscriber_id
+
+        pending = cluster.bus.pending_by_edge()
+        for subscriber in cluster.shards:
+            for publisher in cluster.shards:
+                if subscriber.shard_id == publisher.shard_id:
+                    continue
+                edge = (subscriber.shard_id, publisher.shard_id)
+                if any(
+                    isinstance(message, (PeerSubscribe, PeerUnsubscribe))
+                    for message in pending.get(edge, ())
+                ):
+                    continue  # mirror promised only at the barrier
+                wanted = set(
+                    subscriber.remote_interest.get(publisher.shard_id, ())
+                )
+                registered = set(
+                    publisher.peer_registry.get(subscriber.shard_id, ())
+                )
+                for chunk in sorted(wanted - registered, key=lambda c: (c.cx, c.cz)):
+                    violations.append(
+                        Violation(
+                            "I8.mirror",
+                            f"shard {subscriber.shard_id}->"
+                            f"{publisher.shard_id} {chunk}",
+                            "subscriber holds interest the publisher never "
+                            "registered",
+                        )
+                    )
+                for chunk in sorted(registered - wanted, key=lambda c: (c.cx, c.cz)):
+                    violations.append(
+                        Violation(
+                            "I8.mirror",
+                            f"shard {subscriber.shard_id}->"
+                            f"{publisher.shard_id} {chunk}",
+                            "publisher still registers a chunk the subscriber "
+                            "dropped",
+                        )
+                    )
+                if not registered or publisher.dyconits is None:
+                    continue
+                peer_id = peer_subscriber_id(subscriber.shard_id)
+                subscribed = set(publisher.dyconits.subscription_ids_of(peer_id))
+                for chunk in sorted(registered & wanted, key=lambda c: (c.cx, c.cz)):
+                    dyconit_id = publisher.dyconits.resolve(
+                        publisher.dyconits.partitioner.dyconit_for_chunk(chunk)
+                    )
+                    if dyconit_id not in subscribed:
+                        violations.append(
+                            Violation(
+                                "I8.dyconit-backing",
+                                f"shard {publisher.shard_id} {chunk}",
+                                f"registered for peer {subscriber.shard_id} but "
+                                f"dyconit {dyconit_id!r} has no peer "
+                                "subscription",
+                            )
+                        )

@@ -29,6 +29,13 @@ class Subscriber:
     position_provider: Callable[[], Vec3] | None = None
     #: Policies may stash per-subscriber state here (e.g. interest sets).
     attributes: dict = field(default_factory=dict)
+    #: What this subscriber *is*. ``"client"`` — a player session, fully
+    #: under the local policy's control. ``"peer"`` — another server shard
+    #: federating over the same dyconit protocol (S16); its bounds were
+    #: chosen by the subscribing shard, so bound-sweeping policies must
+    #: leave them alone (delivery, merging and deadline bookkeeping are
+    #: identical for both kinds).
+    kind: str = "client"
 
     @property
     def position(self) -> Vec3 | None:

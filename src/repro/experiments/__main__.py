@@ -84,6 +84,19 @@ def main(argv: list[str] | None = None) -> int:
         sub_parser = sub.add_parser(name, help=help_text)
         _common(sub_parser)
 
+    e11 = sub.add_parser(
+        "e11", help="sharded world: shard-count scaling (S16)"
+    )
+    _common(e11)
+    e11.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts to sweep",
+    )
+    e11.add_argument(
+        "--movement", default="gathering",
+        help="workload movement model (gathering = border hotspot)",
+    )
+
     e2 = sub.add_parser("e2", help="player capacity sweep (claim: up to +40%)")
     _common(e2)
     e2.add_argument(
@@ -135,6 +148,20 @@ def main(argv: list[str] | None = None) -> int:
             print(figures.ablation_policy_period(**window)["table"])
         elif name == "e9":
             print(figures.fault_churn_sweep(**window)["table"])
+        elif name == "e11":
+            shard_counts = tuple(int(c) for c in args.shards.split(","))
+            out = figures.shard_scaling(
+                bots=window["bots"],
+                duration_ms=window["duration_ms"],
+                warmup_ms=window["warmup_ms"],
+                seed=window["seed"],
+                shard_counts=shard_counts,
+                movement=args.movement,
+                jobs=window["jobs"],
+                cache_dir=window["cache_dir"],
+                audit_every_n_ticks=window["audit_every_n_ticks"],
+            )
+            print(out["table"])
         else:
             raise ValueError(f"unknown experiment {name!r}")
 

@@ -99,12 +99,27 @@ class ExperimentConfig:
     #: Checked mode (S15): audit middleware invariants every N ticks
     #: during the run (0 = off); any violation aborts the experiment.
     audit_every_n_ticks: int = 0
+    #: Sharded world (S16): number of logical shards. 1 = the classic
+    #: single-server path; N > 1 runs a :class:`ShardedCluster` with
+    #: cross-shard dyconit federation (requires a dyconit policy).
+    shards: int = 1
+    #: Width, in chunks, of the vertical ownership strips the cluster
+    #: router hands to shards round-robin.
+    strip_width: int = 4
 
     def __post_init__(self) -> None:
         if self.warmup_ms >= self.duration_ms:
             raise ValueError(
                 f"warmup ({self.warmup_ms}) must be shorter than the run "
                 f"({self.duration_ms})"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.shards}")
+        if self.shards > 1 and self.policy == "vanilla":
+            raise ValueError(
+                "a multi-shard cluster federates through inter-server "
+                "dyconits; policy='vanilla' (direct mode) only supports "
+                "shards=1"
             )
 
     def with_(self, **overrides) -> "ExperimentConfig":

@@ -1,4 +1,4 @@
-"""Per-figure experiment drivers (E1..E9).
+"""Per-figure experiment drivers (E1..E9, E11).
 
 Each function regenerates one table/figure of the evaluation: it runs the
 necessary experiment points and returns ``{"rows": [...], "table": str,
@@ -678,6 +678,85 @@ def fault_churn_sweep(
         title=(
             f"E9 faults & churn ({bots} bots, churn "
             f"{'on' if churn else 'off'})"
+        ),
+    )
+    return {"rows": rows, "table": table, "results": results}
+
+
+# ----------------------------------------------------------------------
+# E11 — sharded world: shard-count scaling (S16)
+# ----------------------------------------------------------------------
+
+
+def shard_scaling(
+    bots: int = 24,
+    duration_ms: float = 20_000.0,
+    warmup_ms: float = 8_000.0,
+    seed: int = 42,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    movement: str = "gathering",
+    policy: str = "adaptive",
+    jobs: int = 1,
+    cache_dir=None,
+    audit_every_n_ticks: int = 0,
+) -> dict:
+    """E11: the same workload on 1, 2, and 4 federated shards.
+
+    The gathering workload parks the whole fleet on a shard border (the
+    world origin is always a strip boundary), which is the worst case
+    for federation: maximal cross-shard ghost traffic and continuous
+    handoff pressure. Rows report per-shard tick health, session
+    handoffs, and the inter-shard dyconit bandwidth next to the client
+    bandwidth it buys down per shard.
+    """
+    cells = [
+        ExperimentConfig(
+            name=f"e11-shards{shards}",
+            policy=policy,
+            bots=bots,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            seed=seed,
+            audit_every_n_ticks=audit_every_n_ticks,
+            movement=movement,
+            shards=shards,
+        )
+        for shards in shard_counts
+    ]
+    rows = []
+    results: dict[int, ExperimentResult] = {}
+    for shards, result in zip(
+        shard_counts, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    ):
+        results[shards] = result
+        worst_shard_p95 = (
+            max(result.shard_tick_p95_ms)
+            if result.shard_tick_p95_ms
+            else result.tick_duration.p95
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "kB/s": result.steady_bytes_per_second / 1e3,
+                "p95 tick ms": result.tick_duration.p95,
+                "worst shard p95 ms": worst_shard_p95,
+                "handoffs": result.handoffs,
+                "transfers": result.entity_transfers,
+                "intershard kB/s": result.intershard_bytes_per_second / 1e3,
+                "err p99": result.positional_error_p99,
+            }
+        )
+    table = render_table(
+        ["shards", "kB/s", "p95 tick ms", "worst shard p95 ms", "handoffs",
+         "transfers", "intershard kB/s", "err p99"],
+        [
+            [r["shards"], r["kB/s"], r["p95 tick ms"], r["worst shard p95 ms"],
+             r["handoffs"], r["transfers"], r["intershard kB/s"], r["err p99"]]
+            for r in rows
+        ],
+        title=(
+            f"E11 shard-count scaling ({bots} bots, {movement} workload, "
+            f"{policy} policy)"
         ),
     )
     return {"rows": rows, "table": table, "results": results}

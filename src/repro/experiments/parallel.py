@@ -46,8 +46,9 @@ from repro.telemetry.hub import Telemetry, get_telemetry
 
 #: Version tag hashed into every cache key; bump when the meaning of a
 #: config field (or the result schema) changes so stale cells never
-#: masquerade as current ones.
-CACHE_SCHEMA = "sweep-cell/1"
+#: masquerade as current ones. /2: configs grew shards/strip_width and
+#: results grew the S16 cluster counters.
+CACHE_SCHEMA = "sweep-cell/2"
 
 
 def default_start_method() -> str:
@@ -525,6 +526,12 @@ def sweep_benchmark(
     the parallel speedup, the warm-rerun fraction of cold time, and a
     byte-identity check across all three merged stores (the executor's
     correctness claim, measured where its performance is measured).
+
+    On a single-CPU host ``parallel_speedup`` is ``None``: worker
+    processes time-slice one core, so the cold-parallel/cold-serial
+    ratio measures scheduler overhead, not a speedup, and publishing it
+    as one would be a false claim. The rows are still reported and
+    ``cpu_count`` is recorded so the refusal is auditable.
     """
     if cells is None:
         cells = default_bench_cells()
@@ -561,16 +568,29 @@ def sweep_benchmark(
             "warm-rerun", jobs, tmp / "parallel-cache", tmp / "warm.json"
         )
 
-    return {
-        "schema": "bench-sweep/1",
+    cpu_count = os.cpu_count()
+    single_cpu = cpu_count is not None and cpu_count <= 1
+    payload = {
+        "schema": "bench-sweep/2",
         "params": {
             "cells": [cell.name for cell in cells],
             "jobs": jobs,
             "mp_context": mp_context,
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu_count,
         },
         "rows": rows,
-        "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "parallel_speedup": (
+            None
+            if single_cpu
+            else (round(serial_s / parallel_s, 3) if parallel_s else None)
+        ),
         "warm_fraction_of_cold": round(warm_s / serial_s, 4) if serial_s else None,
         "stores_byte_identical": len({s for s in stores}) == 1,
     }
+    if single_cpu:
+        payload["parallel_speedup_suppressed"] = (
+            "os.cpu_count() == 1: workers time-slice a single core, so "
+            "parallel wall-clock is not a speedup measurement; re-record "
+            "on a multi-core host"
+        )
+    return payload

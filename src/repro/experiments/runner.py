@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bots.workload import ChurnWorkload, Workload
+from repro.cluster import ShardedCluster
 from repro.experiments.configs import ExperimentConfig, make_partitioner
 from repro.metrics.summary import Summary, describe
 from repro.server.engine import GameServer
@@ -56,6 +57,18 @@ class ExperimentResult:
     churn_crashes: int = 0
     churn_rejoins: int = 0
 
+    # Sharded cluster (E11); all zero on single-server runs.
+    shards: int = 1
+    handoffs: int = 0
+    handoffs_cancelled: int = 0
+    entity_transfers: int = 0
+    intershard_bytes: int = 0
+    intershard_messages: int = 0
+    intershard_bytes_per_second: float = 0.0
+    intershard_messages_by_kind: dict[str, int] = field(default_factory=dict)
+    shard_tick_p95_ms: list[float] = field(default_factory=list)
+    shard_players: list[int] = field(default_factory=list)
+
     # Timelines for the dynamics figure.
     bandwidth_timeline: list[tuple[float, float]] = field(default_factory=list)
     player_timeline: list[tuple[float, float]] = field(default_factory=list)
@@ -97,23 +110,45 @@ def run_experiment(
     sim = Simulation(telemetry=telemetry)
     if telemetry.enabled:
         telemetry.set_time_source(lambda: sim.now)
-    world = World(seed=config.seed)
-    policy = config.build_policy()
-    server = GameServer(
-        sim,
-        world=world,
-        config=config.build_server_config(),
-        policy=policy,
-        partitioner=None if policy is None else make_partitioner(config.partitioner),
-        direct_mode=policy is None,
-        telemetry=telemetry,
-    )
-    if server.dyconits is not None:
-        server.dyconits.merging_enabled = config.merging_enabled
-        if telemetry.enabled:
-            install_tracer(server.dyconits, telemetry)
-    server.transport.record_latencies = config.record_latencies
-    server.start()
+    if config.shards > 1:
+        # Sharded world (S16): each shard is a full GameServer; the
+        # facade keeps the single-server surface the workload expects.
+        cluster = ShardedCluster(
+            sim,
+            shards=config.shards,
+            strip_width=config.strip_width,
+            config=config.build_server_config(),
+            policy_factory=config.build_policy,
+            partitioner_factory=lambda: make_partitioner(config.partitioner),
+            telemetry=telemetry,
+        )
+        for shard in cluster.shards:
+            shard.dyconits.merging_enabled = config.merging_enabled
+            shard.transport.record_latencies = config.record_latencies
+            if telemetry.enabled:
+                install_tracer(shard.dyconits, telemetry)
+        cluster.start()
+        server = cluster
+        policy = None
+    else:
+        cluster = None
+        world = World(seed=config.seed)
+        policy = config.build_policy()
+        server = GameServer(
+            sim,
+            world=world,
+            config=config.build_server_config(),
+            policy=policy,
+            partitioner=None if policy is None else make_partitioner(config.partitioner),
+            direct_mode=policy is None,
+            telemetry=telemetry,
+        )
+        if server.dyconits is not None:
+            server.dyconits.merging_enabled = config.merging_enabled
+            if telemetry.enabled:
+                install_tracer(server.dyconits, telemetry)
+        server.transport.record_latencies = config.record_latencies
+        server.start()
 
     if config.churn is not None:
         workload: Workload = ChurnWorkload(
@@ -132,6 +167,8 @@ def run_experiment(
     ):
         sim.run_until(config.duration_ms)
 
+    if cluster is not None:
+        return collect_cluster_result(config, cluster, workload)
     return collect_result(config, server, workload, policy)
 
 
@@ -197,6 +234,159 @@ def collect_result(
     if policy is not None and hasattr(policy, "factor_history"):
         result.factor_timeline = list(policy.factor_history)
     return result
+
+
+def collect_cluster_result(
+    config: ExperimentConfig, cluster: ShardedCluster, workload: Workload
+) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` from a sharded run.
+
+    Traffic and middleware counters aggregate across shards; tick health
+    keeps both a cluster-wide summary (all shards' steady ticks pooled)
+    and the per-shard p95 list E11 reports. Client-observed consistency
+    comes from the workload, which already measures against the
+    authoritative cross-shard world view.
+    """
+    result = ExperimentResult(config=config)
+    result.shards = len(cluster.shards)
+    result.bytes_total = cluster.total_bytes()
+    result.packets_total = cluster.total_packets()
+    for shard in cluster.shards:
+        for kind, count in shard.transport.bytes_by_kind().items():
+            result.bytes_by_kind[kind] = result.bytes_by_kind.get(kind, 0) + count
+        for kind, count in shard.transport.packets_by_kind().items():
+            result.packets_by_kind[kind] = result.packets_by_kind.get(kind, 0) + count
+
+    window_s = (config.duration_ms - config.warmup_ms) / 1000.0
+    steady_bytes = sum(
+        _series_growth(
+            shard.metrics.series("bytes_total"), config.warmup_ms, config.duration_ms
+        )
+        for shard in cluster.shards
+    )
+    result.steady_bytes_per_second = steady_bytes / window_s if window_s > 0 else 0.0
+    players = max(1, config.bots)
+    result.steady_bytes_per_player_per_second = result.steady_bytes_per_second / players
+
+    pooled_ticks: list[float] = []
+    for shard in cluster.shards:
+        ticks = shard.metrics.series("tick_duration_ms").window(
+            config.warmup_ms, config.duration_ms
+        )
+        pooled_ticks.extend(ticks)
+        result.shard_tick_p95_ms.append(describe(ticks).p95)
+        result.shard_players.append(len(shard.sessions))
+    result.tick_duration = describe(pooled_ticks)
+    if pooled_ticks and window_s > 0:
+        # Per-shard tick rate: every shard ticks on its own schedule.
+        result.effective_tick_rate_hz = len(pooled_ticks) / len(cluster.shards) / window_s
+    total_s = config.duration_ms / 1000.0
+    if total_s > 0:
+        result.steady_packets_per_second = result.packets_total / total_s
+
+    result.dyconit_stats = _merge_dyconit_stats(
+        [shard.dyconits.stats for shard in cluster.shards]
+    )
+    result.update_queue_delay_p50_ms = max(
+        shard.metrics.histogram("update_queue_delay_ms", min_value=0.1).quantile(0.50)
+        for shard in cluster.shards
+    )
+    result.update_queue_delay_p99_ms = max(
+        shard.metrics.histogram("update_queue_delay_ms", min_value=0.1).quantile(0.99)
+        for shard in cluster.shards
+    )
+
+    result.positional_error_mean = workload.error_histogram.mean
+    result.positional_error_p95 = workload.error_histogram.quantile(0.95)
+    result.positional_error_p99 = workload.error_histogram.quantile(0.99)
+    result.positional_error_max = max(0.0, workload.error_histogram.max_value)
+    result.staleness_p50_ms = workload.staleness_histogram.quantile(0.50)
+    result.staleness_p99_ms = workload.staleness_histogram.quantile(0.99)
+
+    if config.record_latencies:
+        latencies: list[float] = []
+        for shard in cluster.shards:
+            latencies.extend(shard.transport.latencies_ms)
+        result.packet_latency = describe(latencies)
+
+    result.packets_dropped = sum(
+        shard.transport.packets_dropped for shard in cluster.shards
+    )
+    result.reconnects = sum(
+        shard.transport.reconnect_count for shard in cluster.shards
+    )
+    if isinstance(workload, ChurnWorkload):
+        result.churn_crashes = workload.crashes
+        result.churn_rejoins = workload.rejoins
+
+    result.handoffs = cluster.handoffs
+    result.handoffs_cancelled = cluster.handoffs_cancelled
+    result.intershard_bytes = cluster.bus.total_bytes
+    result.intershard_messages = cluster.bus.total_messages
+    result.intershard_messages_by_kind = dict(cluster.bus.messages_by_kind)
+    result.entity_transfers = cluster.bus.messages_by_kind.get("EntityTransfer", 0)
+    if total_s > 0:
+        result.intershard_bytes_per_second = cluster.bus.total_bytes / total_s
+
+    # Timelines: shards tick on the same cadence, so merge pointwise —
+    # bandwidth and players sum, per-tick time takes the slowest shard
+    # (the cluster's critical path).
+    bytes_view = _merge_series(
+        [shard.metrics.series("bytes_total") for shard in cluster.shards], sum
+    )
+    result.bandwidth_timeline = _rate_timeline(bytes_view)
+    player_view = _merge_series(
+        [shard.metrics.series("player_count") for shard in cluster.shards], sum
+    )
+    result.player_timeline = list(zip(player_view.times, player_view.values))
+    tick_view = _merge_series(
+        [shard.metrics.series("tick_duration_ms") for shard in cluster.shards], max
+    )
+    result.tick_timeline = list(zip(tick_view.times, tick_view.values))
+    return result
+
+
+def _merge_dyconit_stats(stats_list) -> dict[str, float]:
+    """Cluster-wide middleware counters: sums, with the derived ratios
+    recomputed from the summed raw counts."""
+    merged: dict[str, float] = {}
+    for stats in stats_list:
+        for key, value in stats.as_dict().items():
+            merged[key] = merged.get(key, 0.0) + value
+    enqueued = sum(stats.updates_enqueued for stats in stats_list)
+    merged["merge_ratio"] = (
+        sum(stats.updates_merged for stats in stats_list) / enqueued
+        if enqueued
+        else 0.0
+    )
+    delay_samples = sum(stats.queue_delay_samples for stats in stats_list)
+    merged["mean_queue_delay_ms"] = (
+        sum(stats.queue_delay_total_ms for stats in stats_list) / delay_samples
+        if delay_samples
+        else 0.0
+    )
+    return merged
+
+
+class _SeriesView:
+    """Read-only (times, values) pair quacking like a metrics series."""
+
+    def __init__(self, times: list[float], values: list[float]) -> None:
+        self.times = times
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def _merge_series(series_list, combine) -> _SeriesView:
+    """Combine same-cadence cumulative/gauge series pointwise by time."""
+    by_time: dict[float, list[float]] = {}
+    for series in series_list:
+        for time, value in zip(series.times, series.values):
+            by_time.setdefault(time, []).append(value)
+    times = sorted(by_time)
+    return _SeriesView(times, [combine(by_time[time]) for time in times])
 
 
 def _series_growth(series, start: float, end: float) -> float:

@@ -79,6 +79,16 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "reconnects": result.reconnects,
         "churn_crashes": result.churn_crashes,
         "churn_rejoins": result.churn_rejoins,
+        "shards": result.shards,
+        "handoffs": result.handoffs,
+        "handoffs_cancelled": result.handoffs_cancelled,
+        "entity_transfers": result.entity_transfers,
+        "intershard_bytes": result.intershard_bytes,
+        "intershard_messages": result.intershard_messages,
+        "intershard_bytes_per_second": result.intershard_bytes_per_second,
+        "intershard_messages_by_kind": result.intershard_messages_by_kind,
+        "shard_tick_p95_ms": result.shard_tick_p95_ms,
+        "shard_players": result.shard_players,
         "bandwidth_timeline": result.bandwidth_timeline,
         "player_timeline": result.player_timeline,
         "tick_timeline": result.tick_timeline,
@@ -128,6 +138,18 @@ def result_from_dict(data: dict) -> ExperimentResult:
     result.reconnects = data.get("reconnects", 0)
     result.churn_crashes = data.get("churn_crashes", 0)
     result.churn_rejoins = data.get("churn_rejoins", 0)
+    # Cluster counters postdate S16; pre-sharding stores default to a
+    # single-server shape.
+    result.shards = data.get("shards", 1)
+    result.handoffs = data.get("handoffs", 0)
+    result.handoffs_cancelled = data.get("handoffs_cancelled", 0)
+    result.entity_transfers = data.get("entity_transfers", 0)
+    result.intershard_bytes = data.get("intershard_bytes", 0)
+    result.intershard_messages = data.get("intershard_messages", 0)
+    result.intershard_bytes_per_second = data.get("intershard_bytes_per_second", 0.0)
+    result.intershard_messages_by_kind = data.get("intershard_messages_by_kind", {})
+    result.shard_tick_p95_ms = list(data.get("shard_tick_p95_ms", []))
+    result.shard_players = list(data.get("shard_players", []))
     result.bandwidth_timeline = [tuple(point) for point in data["bandwidth_timeline"]]
     result.player_timeline = [tuple(point) for point in data["player_timeline"]]
     result.tick_timeline = [tuple(point) for point in data.get("tick_timeline", [])]

@@ -132,6 +132,11 @@ class AdaptiveBoundsPolicy(Policy):
 
     def _reapply_all(self, system) -> None:
         for subscriber in list(system.subscribers()):
+            if subscriber.kind != "client":
+                # Peer-shard subscriptions (S16) carry bounds chosen by
+                # the *subscribing* shard; the publisher's load servo has
+                # no business rewriting another server's error budget.
+                continue
             for dyconit_id in system.subscription_ids_of(subscriber.subscriber_id):
                 system.set_bounds(
                     dyconit_id,

@@ -179,6 +179,7 @@ class GameServer:
         view_distance: int | None = None,
         client_id: int | None = None,
         faults: FaultPlan | None = None,
+        entity_id: int | None = None,
     ) -> PlayerSession:
         """Connect a new player; returns its session.
 
@@ -188,7 +189,10 @@ class GameServer:
         ``known_entities``, ``view_chunks`` and dyconit subscriptions all
         start empty; the transport's generation tag keeps in-flight
         packets from the old connection away from the new one). ``faults``
-        installs a per-client fault plan on the new link.
+        installs a per-client fault plan on the new link. ``entity_id``
+        preserves an avatar identity minted elsewhere — a cross-shard
+        session handoff (S16) respawns the avatar here under the id every
+        other replica in the cluster already knows it by.
         """
         if client_id is None:
             client_id = self._next_client_id
@@ -203,7 +207,9 @@ class GameServer:
             position = self.world.surface_position(8.0, 8.0)
         # Spawning the avatar emits an EntitySpawnEvent that reaches every
         # *existing* viewer through the normal broadcast path.
-        entity = self.world.spawn_entity(EntityKind.PLAYER, position, name=name)
+        entity = self.world.spawn_entity(
+            EntityKind.PLAYER, position, name=name, entity_id=entity_id
+        )
 
         session = PlayerSession(
             client_id=client_id,

@@ -30,14 +30,31 @@ WorldListener = Callable[[WorldEvent], None]
 class World:
     """Authoritative MVE state: chunk grid plus entity registry."""
 
-    def __init__(self, seed: int = 0, generator: TerrainGenerator | None = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        generator: TerrainGenerator | None = None,
+        entity_id_start: int = 1,
+        entity_id_step: int = 1,
+    ) -> None:
+        if entity_id_start < 1 or entity_id_step < 1:
+            raise ValueError(
+                f"entity id allocation must start >= 1 with step >= 1, got "
+                f"start={entity_id_start}, step={entity_id_step}"
+            )
         self.seed = seed
         self.generator = generator if generator is not None else TerrainGenerator(seed)
         self._chunks: dict[ChunkPos, Chunk] = {}
         self._entities: dict[int, Entity] = {}
         self._entities_by_chunk: dict[ChunkPos, set[int]] = {}
         self._listeners: list[WorldListener] = []
-        self._next_entity_id = 1
+        #: Auto-allocated ids walk ``start, start+step, start+2*step, ...``.
+        #: A sharded cluster gives shard *i* of *N* the stride
+        #: ``(i+1, N)`` so shards can mint ids concurrently without a
+        #: coordinator; the default ``(1, 1)`` is the legacy single-server
+        #: sequence, which keeps 1-shard runs byte-identical to it.
+        self._next_entity_id = entity_id_start
+        self._entity_id_step = entity_id_step
         self._manual_time = 0.0
         #: When set (the engine wires it to the simulation clock), event
         #: timestamps follow it; otherwise ``time`` is set manually.
@@ -136,11 +153,26 @@ class World:
     def get_entity(self, entity_id: int) -> Entity | None:
         return self._entities.get(entity_id)
 
-    def spawn_entity(self, kind: EntityKind, position: Vec3, name: str = "") -> Entity:
-        entity = Entity(
-            entity_id=self._next_entity_id, kind=kind, position=position, name=name
-        )
-        self._next_entity_id += 1
+    def spawn_entity(
+        self,
+        kind: EntityKind,
+        position: Vec3,
+        name: str = "",
+        entity_id: int | None = None,
+    ) -> Entity:
+        """Spawn an entity; emits an :class:`EntitySpawnEvent`.
+
+        ``entity_id`` may be given explicitly to materialize an entity
+        whose identity was minted elsewhere (a ghost replica of a remote
+        shard's entity, or a session avatar adopted in a handoff). An
+        explicit id never advances the auto-allocation counter.
+        """
+        if entity_id is None:
+            entity_id = self._next_entity_id
+            self._next_entity_id += self._entity_id_step
+        elif entity_id in self._entities:
+            raise ValueError(f"entity id {entity_id} already exists in this world")
+        entity = Entity(entity_id=entity_id, kind=kind, position=position, name=name)
         self._entities[entity.entity_id] = entity
         self._entities_by_chunk.setdefault(entity.chunk_pos, set()).add(entity.entity_id)
         self._emit(

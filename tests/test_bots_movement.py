@@ -5,6 +5,7 @@ import random
 
 from repro.bots.movement import (
     WALK_SPEED,
+    GatheringModel,
     HotspotModel,
     RandomWaypointModel,
     TrekModel,
@@ -77,6 +78,39 @@ class TestHotspot:
             HotspotModel(gravity=1.5)
         with pytest.raises(ValueError):
             HotspotModel(hotspots=[])
+
+
+class TestGathering:
+    def test_every_waypoint_lands_within_jitter_of_target(self):
+        target = Vec3(37.0, 0.0, -5.0)
+        model = GatheringModel(target=target, jitter=10.0)
+        r = rng()
+        for _ in range(300):
+            # Position is irrelevant: the fleet converges no matter how
+            # far away it starts.
+            w = model.next_waypoint(r, Vec3(5000.0, 0.0, -5000.0))
+            assert math.hypot(w.x - target.x, w.z - target.z) <= 10.0 + 1e-9
+
+    def test_default_target_is_the_origin_strip_boundary(self):
+        model = GatheringModel()
+        assert model.target == Vec3(0.0, 0.0, 0.0)
+        # With the default 10-block jitter the crowd straddles x == 0 —
+        # the cluster router's strip boundary — from both sides.
+        r = rng()
+        xs = [model.next_waypoint(r, Vec3(0, 0, 0)).x for _ in range(300)]
+        assert any(x < 0 for x in xs) and any(x > 0 for x in xs)
+
+    def test_deterministic_given_rng(self):
+        model = GatheringModel()
+        assert model.next_waypoint(rng(3), Vec3(1, 0, 1)) == model.next_waypoint(
+            rng(3), Vec3(1, 0, 1)
+        )
+
+    def test_rejects_bad_jitter(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            GatheringModel(jitter=0.0)
 
 
 class TestTrek:

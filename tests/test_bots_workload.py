@@ -102,7 +102,39 @@ def test_stop_disconnects_everyone(sim, server):
 
 
 def test_movement_models_per_spec(sim, server):
-    for movement in ("hotspot", "uniform", "trek"):
+    for movement in ("hotspot", "uniform", "trek", "gathering"):
         workload = Workload(sim, server, WorkloadSpec(bots=1, seed=3, movement=movement))
         bot_model = workload._movement_for(0)
         assert bot_model is not None
+
+
+def test_gathering_workload_converges_on_the_origin(sim, server):
+    from repro.bots.movement import GatheringModel
+
+    spec = WorkloadSpec(bots=6, seed=3, movement="gathering", arrival_stagger_ms=0.0)
+    workload = Workload(sim, server, spec)
+    assert isinstance(workload._movement_for(0), GatheringModel)
+    workload.start()
+    sim.run_until(20_000.0)
+    # The whole fleet ends up milling within the gathering jitter of the
+    # origin: every pair mutually visible, one hot chunk neighbourhood.
+    positions = [
+        server.world.get_entity(bot.entity_id).position for bot in workload.bots
+    ]
+    assert len(positions) == 6
+    for position in positions:
+        assert abs(position.x) <= 25.0 and abs(position.z) <= 25.0
+
+
+def test_gathering_workload_is_seed_deterministic(sim, server):
+    spec = WorkloadSpec(bots=3, seed=9, movement="gathering", arrival_stagger_ms=0.0)
+    workload = Workload(sim, server, spec)
+    import random
+
+    from repro.world.geometry import Vec3
+
+    origin = Vec3(0.0, 0.0, 0.0)
+    a = workload._movement_for(1).next_waypoint(random.Random(9), origin)
+    workload2 = Workload(sim, server, spec)
+    b = workload2._movement_for(1).next_waypoint(random.Random(9), origin)
+    assert a == b

@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic inter-shard bus."""
+
+import pytest
+
+from repro.cluster.bus import MAX_PUMP_ROUNDS, InterShardBus
+from repro.cluster.messages import (
+    GhostChat,
+    PeerUnsubscribe,
+    PeerUpdates,
+    SessionHandoff,
+)
+from repro.world.geometry import ChunkPos
+
+
+def make_bus(shard_ids=(0, 1)):
+    bus = InterShardBus()
+    logs = {shard_id: [] for shard_id in shard_ids}
+    for shard_id in shard_ids:
+        bus.attach(shard_id, lambda src, msg, log=logs[shard_id]: log.append((src, msg)))
+    return bus, logs
+
+
+def tagged(tag="hi"):
+    """A PeerUpdates message carrying a recognizable chat record."""
+    return PeerUpdates(records=(GhostChat(sender_id=0, text=tag),))
+
+
+def tag_of(message):
+    return message.records[0].text
+
+
+def test_post_is_deferred_until_pump():
+    bus, logs = make_bus()
+    bus.post(0, 1, tagged())
+    assert logs[1] == []
+    assert bus.pending_messages == 1
+    assert bus.pump() == 1
+    assert len(logs[1]) == 1
+    assert bus.pending_messages == 0
+
+
+def test_snapshot_is_not_an_alias_of_the_live_queue():
+    # Regression: the pump used to snapshot each queue by reference, then
+    # truncate the "live" queue before iterating the snapshot — which was
+    # the same list, so every message was silently discarded. Handoffs
+    # never completed and clients stayed in transit forever.
+    bus, logs = make_bus()
+    bus.post(0, 1, tagged("one"))
+    bus.post(0, 1, tagged("two"))
+    delivered = bus.pump()
+    assert delivered == 2
+    assert [tag_of(msg) for __, msg in logs[1]] == ["one", "two"]
+
+
+def test_edges_drain_in_sorted_order():
+    bus = InterShardBus()
+    order = []
+    for shard_id in (0, 1, 2):
+        bus.attach(shard_id, lambda src, msg, me=shard_id: order.append((src, me)))
+    # Post in scrambled order; delivery order must follow sorted edges.
+    bus.post(2, 0, tagged())
+    bus.post(0, 1, tagged())
+    bus.post(1, 2, tagged())
+    bus.post(0, 2, tagged())
+    bus.pump()
+    assert order == [(0, 1), (0, 2), (1, 2), (2, 0)]
+
+
+def test_fifo_within_an_edge():
+    bus, logs = make_bus()
+    for index in range(5):
+        bus.post(0, 1, tagged(str(index)))
+    bus.pump()
+    assert [tag_of(msg) for __, msg in logs[1]] == ["0", "1", "2", "3", "4"]
+
+
+def test_messages_posted_mid_pump_are_delivered_next_round():
+    bus = InterShardBus()
+    seen = []
+
+    def replying_handler(src, msg):
+        seen.append(("shard1", tag_of(msg)))
+        if tag_of(msg) == "ping":
+            bus.post(1, 0, tagged("pong"))
+
+    bus.attach(0, lambda src, msg: seen.append(("shard0", tag_of(msg))))
+    bus.attach(1, replying_handler)
+    bus.post(0, 1, tagged("ping"))
+    delivered = bus.pump()
+    assert delivered == 2
+    assert seen == [("shard1", "ping"), ("shard0", "pong")]
+    assert bus.pending_messages == 0
+
+
+def test_non_converging_cascade_raises_instead_of_hanging():
+    bus = InterShardBus()
+    bus.attach(0, lambda src, msg: bus.post(0, 1, tagged()))
+    bus.attach(1, lambda src, msg: bus.post(1, 0, tagged()))
+    bus.post(0, 1, tagged())
+    with pytest.raises(RuntimeError, match=f"{MAX_PUMP_ROUNDS} rounds"):
+        bus.pump()
+
+
+def test_self_post_rejected():
+    bus, __ = make_bus()
+    with pytest.raises(ValueError, match="posting to itself"):
+        bus.post(0, 0, tagged())
+
+
+def test_post_to_unattached_shard_rejected():
+    bus, __ = make_bus()
+    with pytest.raises(ValueError, match="no shard 7"):
+        bus.post(0, 7, tagged())
+
+
+def test_double_attach_rejected():
+    bus, __ = make_bus()
+    with pytest.raises(ValueError, match="already attached"):
+        bus.attach(1, lambda src, msg: None)
+
+
+def test_byte_and_kind_accounting():
+    bus, __ = make_bus()
+    messages = [
+        tagged("hello"),
+        PeerUnsubscribe(chunk=ChunkPos(1, 2)),
+        SessionHandoff(
+            client_id=3, entity_id=9, x=1.0, y=2.0, z=3.0, yaw=0.0, pitch=0.0
+        ),
+        tagged("again"),
+    ]
+    for message in messages:
+        bus.post(0, 1, message)
+    assert bus.total_messages == 4
+    assert bus.total_bytes == sum(m.wire_size() for m in messages)
+    assert bus.bytes_by_edge == {(0, 1): bus.total_bytes}
+    assert bus.messages_by_kind == {
+        "PeerUpdates": 2, "PeerUnsubscribe": 1, "SessionHandoff": 1,
+    }
+    # Accounting is cumulative: pumping does not reset the counters.
+    bus.pump()
+    assert bus.total_messages == 4
+
+
+def test_pending_by_edge_exposes_messages_for_the_auditor():
+    bus, __ = make_bus((0, 1, 2))
+    bus.post(0, 1, tagged("a"))
+    bus.post(2, 1, tagged("b"))
+    pending = bus.pending_by_edge()
+    assert set(pending) == {(0, 1), (2, 1)}
+    assert tag_of(pending[(0, 1)][0]) == "a"
+    bus.pump()
+    assert bus.pending_by_edge() == {}
+
+
+def test_seq_numbers_survive_many_pumps():
+    bus, logs = make_bus()
+    for round_index in range(10):
+        bus.post(0, 1, tagged(str(round_index)))
+        bus.pump()
+    assert [tag_of(msg) for __, msg in logs[1]] == [str(i) for i in range(10)]

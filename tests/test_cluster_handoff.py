@@ -1,0 +1,192 @@
+"""Session handoff edge cases: oscillation, cancellation, in-flight races."""
+
+from repro.cluster import ShardedCluster
+from repro.core.invariants import InvariantAuditor
+from repro.policies.fixed import FixedBoundsPolicy
+from repro.policies.zero import ZeroBoundsPolicy
+from repro.core.bounds import Bounds
+from repro.server.config import ServerConfig
+from repro.sim.simulator import Simulation
+from repro.world.geometry import Vec3
+
+TICK_MS = 50.0
+
+
+def make_cluster(policy_factory=ZeroBoundsPolicy, mob_count=0, strip_width=4):
+    sim = Simulation()
+    cluster = ShardedCluster(
+        sim,
+        shards=2,
+        strip_width=strip_width,
+        config=ServerConfig(seed=11, synchronous_delivery=True, mob_count=mob_count),
+        policy_factory=policy_factory,
+    )
+    cluster.start()
+    return sim, cluster
+
+
+def connect_at(cluster, name, x, z=8.0):
+    position = cluster.shards[0].world.surface_position(x, z)
+    return cluster.connect(name, lambda delivered: None, position=position)
+
+
+def settle(sim, ticks=2):
+    sim.run_until(sim.now + TICK_MS * ticks)
+
+
+def avatar_owner(cluster, entity_id):
+    """The shard holding the authoritative (non-ghost) copy."""
+    owners = [
+        shard.shard_id
+        for shard in cluster.shards
+        if shard.world.get_entity(entity_id) is not None
+        and entity_id not in shard.ghost_ids
+    ]
+    assert len(owners) <= 1
+    return owners[0] if owners else None
+
+
+def walk_to(cluster, entity_id, x, z=8.0):
+    owner = avatar_owner(cluster, entity_id)
+    world = cluster.shards[owner].world
+    world.move_entity(entity_id, world.surface_position(x, z))
+
+
+def assert_clean(cluster):
+    violations = InvariantAuditor().check_cluster(cluster)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_border_crossing_hands_session_over():
+    sim, cluster = make_cluster()
+    session = connect_at(cluster, "alice", x=8.0)  # chunk 0 -> shard 0
+    settle(sim)
+    assert cluster.shard_of(session.client_id) == 0
+
+    walk_to(cluster, session.entity_id, -8.0)  # chunk -1 -> shard 1
+    # Before the pump the session only exists as a bus message.
+    assert session.client_id in cluster.in_transit_clients()
+    assert cluster.shard_of(session.client_id) is None
+    settle(sim)
+
+    assert cluster.handoffs == 1
+    assert cluster.shard_of(session.client_id) == 1
+    migrated = cluster.sessions[session.client_id]
+    # Identity is preserved end-to-end: same client id, same entity id.
+    assert migrated.client_id == session.client_id
+    assert migrated.entity_id == session.entity_id
+    assert avatar_owner(cluster, session.entity_id) == 1
+    assert_clean(cluster)
+
+
+def test_border_oscillation_is_stable():
+    sim, cluster = make_cluster()
+    session = connect_at(cluster, "bob", x=8.0)
+    # A second client stays on shard 0 and watches the oscillator.
+    connect_at(cluster, "carol", x=12.0)
+    settle(sim)
+
+    for crossing in range(6):
+        x = -8.0 if crossing % 2 == 0 else 8.0
+        walk_to(cluster, session.entity_id, x)
+        settle(sim)
+        expected_shard = 1 if crossing % 2 == 0 else 0
+        assert cluster.shard_of(session.client_id) == expected_shard
+        assert cluster.sessions[session.client_id].entity_id == session.entity_id
+        assert_clean(cluster)
+
+    assert cluster.handoffs == 6
+    assert cluster.handoffs_cancelled == 0
+    assert cluster.player_count == 2
+
+
+def test_disconnect_mid_handoff_cancels_cleanly():
+    sim, cluster = make_cluster()
+    session = connect_at(cluster, "dave", x=8.0)
+    connect_at(cluster, "erin", x=12.0)  # keeps shard 0 busy
+    settle(sim)
+
+    walk_to(cluster, session.entity_id, -8.0)
+    assert session.client_id in cluster.in_transit_clients()
+    # Churn races the handoff: the client disconnects while its session
+    # is a bus message. The facade cancels; the target drops the message.
+    cluster.disconnect(session.client_id)
+    assert session.client_id not in cluster.in_transit_clients()
+    settle(sim)
+
+    assert cluster.handoffs == 0
+    assert cluster.handoffs_cancelled == 1
+    assert cluster.player_count == 1
+    assert session.client_id not in cluster.sessions
+    for shard in cluster.shards:
+        assert shard.world.get_entity(session.entity_id) is None
+    assert_clean(cluster)
+
+
+def test_handoff_with_in_flight_dyconit_updates():
+    """Crossing while bounded flushes are still queued must not corrupt
+    state: the source drops its pending updates (full-disconnect
+    semantics) and the target resyncs the view from scratch."""
+    sim, cluster = make_cluster(
+        policy_factory=lambda: FixedBoundsPolicy(
+            bounds=Bounds(numerical=64.0, staleness_ms=400.0)
+        )
+    )
+    mover = connect_at(cluster, "frank", x=8.0)
+    connect_at(cluster, "grace", x=12.0)
+    connect_at(cluster, "heidi", x=-12.0)  # shard 1 observer
+    settle(sim, ticks=4)
+
+    # Generate updates that the loose bounds keep queued, then cross.
+    walk_to(cluster, mover.entity_id, 4.0)
+    walk_to(cluster, mover.entity_id, 1.0)
+    walk_to(cluster, mover.entity_id, -8.0)
+    settle(sim)
+
+    assert cluster.handoffs == 1
+    assert cluster.shard_of(mover.client_id) == 1
+    assert avatar_owner(cluster, mover.entity_id) == 1
+    assert_clean(cluster)
+    # Keep running: queued staleness flushes referencing the emigrated
+    # avatar must not resurrect it on shard 0.
+    settle(sim, ticks=20)
+    assert avatar_owner(cluster, mover.entity_id) == 1
+    assert_clean(cluster)
+
+
+def test_reconnect_after_cancelled_handoff_gets_fresh_state():
+    sim, cluster = make_cluster()
+    session = connect_at(cluster, "ivan", x=8.0)
+    settle(sim)
+    walk_to(cluster, session.entity_id, -8.0)
+    cluster.disconnect(session.client_id)
+    settle(sim)
+
+    fresh = connect_at(cluster, "ivan", x=8.0)
+    settle(sim)
+    assert fresh.client_id != session.client_id  # ids are never recycled
+    assert cluster.shard_of(fresh.client_id) == 0
+    assert cluster.player_count == 1
+    assert_clean(cluster)
+
+
+def test_mob_crossing_transfers_ownership():
+    sim, cluster = make_cluster(mob_count=0)
+    settle(sim)
+    # Spawn a server-owned mob on shard 0 and push it across the border.
+    from repro.world.entity import EntityKind
+
+    shard0 = cluster.shards[0]
+    mob = shard0.world.spawn_entity(
+        EntityKind.ZOMBIE, shard0.world.surface_position(8.0, 8.0), name="zombie"
+    )
+    shard0._mob_ids.append(mob.entity_id)
+    settle(sim)
+    shard0.world.move_entity(mob.entity_id, shard0.world.surface_position(-8.0, 8.0))
+    settle(sim)
+
+    assert cluster.bus.messages_by_kind.get("EntityTransfer", 0) == 1
+    assert avatar_owner(cluster, mob.entity_id) == 1
+    adopted = cluster.shards[1].world.get_entity(mob.entity_id)
+    assert adopted is not None and adopted.name == "zombie"
+    assert_clean(cluster)

@@ -18,6 +18,14 @@ def test_e2_accepts_counts(capsys):
     assert "capacity" in out
 
 
+def test_e11_runs_a_shard_sweep(capsys):
+    assert main(
+        ["e11", "--shards", "1,2", "--bots", "6", "--duration", "4", "--seed", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "E11 shard-count scaling" in out
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

@@ -76,3 +76,29 @@ class TestExperimentConfig:
         spec = ExperimentConfig(bots=12, movement="uniform").build_workload_spec()
         assert spec.bots == 12
         assert spec.movement == "uniform"
+
+    def test_shards_default_to_single_server(self):
+        config = ExperimentConfig()
+        assert config.shards == 1
+        assert config.strip_width == 4
+
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(shards=0)
+
+    def test_vanilla_cannot_shard(self):
+        # Cross-shard federation runs on inter-server dyconits: direct
+        # mode has nothing to federate with.
+        with pytest.raises(ValueError, match="vanilla"):
+            ExperimentConfig(policy="vanilla", shards=2)
+        # shards=1 vanilla stays legal (the legacy path).
+        assert ExperimentConfig(policy="vanilla", shards=1).shards == 1
+
+    def test_sharded_config_roundtrips(self):
+        from repro.experiments.configs import config_from_dict, config_to_dict
+
+        config = ExperimentConfig(policy="adaptive", shards=4, strip_width=2)
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+        assert rebuilt.shards == 4
+        assert rebuilt.strip_width == 2

@@ -82,3 +82,21 @@ def test_ablation_granularity_rows():
 def test_ablation_policy_period_rows():
     out = figures.ablation_policy_period(periods_ms=(500.0, 2000.0), **TINY)
     assert [row["period ms"] for row in out["rows"]] == [500.0, 2000.0]
+
+
+def test_shard_scaling_rows():
+    out = figures.shard_scaling(shard_counts=(1, 2), **TINY)
+    assert [row["shards"] for row in out["rows"]] == [1, 2]
+    assert "E11" in out["table"]
+    single, dual = out["rows"]
+    # A 1-shard cluster is the legacy server: nothing crosses a bus.
+    assert single["intershard kB/s"] == 0.0
+    assert single["handoffs"] == 0
+    assert dual["intershard kB/s"] > 0.0
+    assert dual["worst shard p95 ms"] >= 0.0
+
+
+def test_shard_scaling_uses_the_sweep_cache(tmp_path):
+    cold = figures.shard_scaling(shard_counts=(2,), cache_dir=tmp_path, **TINY)
+    warm = figures.shard_scaling(shard_counts=(2,), cache_dir=tmp_path, **TINY)
+    assert warm["rows"] == cold["rows"]

@@ -59,6 +59,38 @@ def test_vanilla_equals_zero_bounds_bytes():
     assert vanilla.packets_total == zero.packets_total
 
 
+def test_sharded_run_populates_cluster_metrics():
+    result = run_experiment(small(policy="adaptive", shards=2, movement="gathering"))
+    assert result.shards == 2
+    assert result.intershard_bytes > 0
+    assert result.intershard_messages > 0
+    assert result.intershard_bytes_per_second > 0
+    assert result.intershard_messages_by_kind.get("PeerSnapshot", 0) > 0
+    assert len(result.shard_tick_p95_ms) == 2
+    assert sum(result.shard_players) == 6
+    assert result.bytes_total > 0
+    assert result.dyconit_stats["commits"] > 0
+    assert result.effective_tick_rate_hz == pytest.approx(20.0, rel=0.15)
+    assert result.bandwidth_timeline and result.tick_timeline
+
+
+def test_single_shard_config_uses_the_legacy_path():
+    sharded = run_experiment(small(policy="zero", shards=1))
+    legacy = run_experiment(small(policy="zero"))
+    assert sharded.shards == 1
+    assert sharded.intershard_bytes == 0
+    assert sharded.bytes_total == legacy.bytes_total
+
+
+def test_sharded_run_is_seed_deterministic():
+    a = run_experiment(small(policy="adaptive", shards=2, movement="gathering"))
+    b = run_experiment(small(policy="adaptive", shards=2, movement="gathering"))
+    assert a.bytes_total == b.bytes_total
+    assert a.intershard_bytes == b.intershard_bytes
+    assert a.handoffs == b.handoffs
+    assert a.intershard_messages_by_kind == b.intershard_messages_by_kind
+
+
 def test_latency_recording_optional():
     without = run_experiment(small())
     assert without.packet_latency.count == 0

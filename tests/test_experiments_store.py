@@ -50,3 +50,51 @@ def test_rebuilt_result_renders_row():
     result = small_result()
     rebuilt = result_from_dict(result_to_dict(result))
     assert rebuilt.as_row()["policy"] == "fixed"
+
+
+def cluster_result():
+    config = ExperimentConfig(
+        policy="adaptive",
+        bots=6,
+        movement="gathering",
+        duration_ms=4_000.0,
+        warmup_ms=1_000.0,
+        seed=13,
+        shards=2,
+    )
+    return run_experiment(config)
+
+
+def test_cluster_roundtrip_preserves_shard_counters():
+    result = cluster_result()
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert rebuilt.shards == 2
+    assert rebuilt.handoffs == result.handoffs
+    assert rebuilt.handoffs_cancelled == result.handoffs_cancelled
+    assert rebuilt.entity_transfers == result.entity_transfers
+    assert rebuilt.intershard_bytes == result.intershard_bytes > 0
+    assert rebuilt.intershard_messages == result.intershard_messages
+    assert rebuilt.intershard_bytes_per_second == result.intershard_bytes_per_second
+    assert rebuilt.intershard_messages_by_kind == result.intershard_messages_by_kind
+    assert rebuilt.shard_tick_p95_ms == result.shard_tick_p95_ms
+    assert len(rebuilt.shard_tick_p95_ms) == 2
+    assert rebuilt.shard_players == result.shard_players
+    assert sum(rebuilt.shard_players) == 6
+
+
+def test_pre_sharding_payloads_load_with_single_server_defaults():
+    result = small_result()
+    payload = result_to_dict(result)
+    # Simulate an archived pre-S16 store: none of the cluster keys exist.
+    for key in (
+        "shards", "handoffs", "handoffs_cancelled", "entity_transfers",
+        "intershard_bytes", "intershard_messages",
+        "intershard_bytes_per_second", "intershard_messages_by_kind",
+        "shard_tick_p95_ms", "shard_players",
+    ):
+        payload.pop(key, None)
+    rebuilt = result_from_dict(payload)
+    assert rebuilt.shards == 1
+    assert rebuilt.handoffs == 0
+    assert rebuilt.intershard_bytes == 0
+    assert rebuilt.shard_tick_p95_ms == []

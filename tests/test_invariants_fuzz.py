@@ -20,6 +20,13 @@ Two hypothesis state machines:
   per-window commit rates against an independent count of the commits
   actually made in the window.
 
+* :class:`ClusterMachine` (S16) drives a live 2-shard cluster — churny
+  connects/disconnects, entity strides that cross the shard border, and
+  real simulation time — and checks the full cluster catalogue
+  (per-shard I1–I6 plus cross-shard I7/I8) after every step. Handoffs,
+  mob transfers and interest subscribe/unsubscribe storms all happen
+  "for real" through the bus.
+
 On the unfixed tree these machines reproduce the S15 repartitioning
 bugs: the merge/re-subscribe deadline bugs surface as ``I3.heap-coverage``
 violations (and overdue backlogs surviving ticks), and the baseline
@@ -34,6 +41,7 @@ from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
+from repro.cluster import ShardedCluster
 from repro.core.bounds import Bounds
 from repro.core.invariants import InvariantAuditor
 from repro.core.manager import DyconitSystem
@@ -42,6 +50,9 @@ from repro.core.policy import LoadSignals, Policy
 from repro.core.subscription import Subscriber
 from repro.policies.elastic import ElasticPartitioningPolicy
 from repro.policies.fixed import FixedBoundsPolicy
+from repro.policies.zero import ZeroBoundsPolicy
+from repro.server.config import ServerConfig
+from repro.sim.simulator import Simulation
 from repro.world.events import EntityMoveEvent
 from repro.world.geometry import Vec3
 
@@ -320,6 +331,82 @@ class ElasticRateMachine(RuleBasedStateMachine):
         self.window_counts.clear()
 
 
+class ClusterMachine(RuleBasedStateMachine):
+    """Random churn + border strides on a real 2-shard cluster (I7/I8).
+
+    Every rule leaves the cluster at an arbitrary point of its
+    simulation, including mid-handoff; the auditor's in-flight excusals
+    must make the catalogue hold at *every* such point, not just the
+    pump barrier.
+    """
+
+    MAX_CLIENTS = 5
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulation()
+        self.auditor = InvariantAuditor()
+        self.cluster = ShardedCluster(
+            self.sim,
+            shards=2,
+            strip_width=2,
+            config=ServerConfig(seed=11, synchronous_delivery=True, mob_count=2),
+            policy_factory=ZeroBoundsPolicy,
+        )
+        self.cluster.start()
+        self.names = 0
+
+    def _live_clients(self) -> list:
+        return sorted(self.cluster.sessions)
+
+    @rule(x=st.sampled_from([-40.0, -12.0, 4.0, 12.0, 40.0]))
+    def connect(self, x):
+        if self.cluster.player_count >= self.MAX_CLIENTS:
+            return
+        self.names += 1
+        position = self.cluster.world.surface_position(x, 8.0)
+        self.cluster.connect(f"fuzz{self.names}", lambda delivered: None,
+                             position=position)
+
+    @rule(data=st.data())
+    def disconnect(self, data):
+        # Includes clients currently mid-handoff: the cancellation path.
+        candidates = sorted(
+            set(self._live_clients()) | set(self.cluster.in_transit_clients())
+        )
+        if not candidates:
+            return
+        self.cluster.disconnect(data.draw(st.sampled_from(candidates)))
+
+    @rule(data=st.data(), dx=st.sampled_from([-33.0, -9.0, 9.0, 33.0]))
+    def stride(self, data, dx):
+        """Walk one authoritative entity sideways — the larger strides
+        cross the 2-chunk strips and trigger handoffs/transfers."""
+        owned = []
+        for shard in self.cluster.shards:
+            for entity in shard.world.entities():
+                if entity.entity_id not in shard.ghost_ids:
+                    owned.append((shard, entity.entity_id))
+        if not owned:
+            return
+        shard, entity_id = owned[data.draw(st.integers(0, len(owned) - 1))]
+        entity = shard.world.get_entity(entity_id)
+        position = entity.position
+        shard.world.move_entity(
+            entity_id,
+            Vec3(position.x + dx, position.y, position.z),
+        )
+
+    @rule(steps=st.integers(min_value=1, max_value=4))
+    def advance(self, steps):
+        self.sim.run_until(self.sim.now + 50.0 * steps)
+
+    @invariant()
+    def cluster_catalogue_is_clean(self):
+        violations = self.auditor.check_cluster(self.cluster)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+
 #: CI smoke: 30 examples x up to 30 steps (and 15 x 25) comfortably
 #: clears the >= 200 stateful steps the roadmap asks of checked mode.
 TestDyconitFuzz = DyconitMachine.TestCase
@@ -330,4 +417,9 @@ TestDyconitFuzz.settings = settings(
 TestElasticRates = ElasticRateMachine.TestCase
 TestElasticRates.settings = settings(
     max_examples=15, stateful_step_count=25, deadline=None
+)
+
+TestClusterFuzz = ClusterMachine.TestCase
+TestClusterFuzz.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None
 )

@@ -1,0 +1,54 @@
+"""Tests for the sweep benchmark payload, especially the single-CPU refusal.
+
+A parallel "speedup" measured on one core is scheduler noise, not a
+speedup; the benchmark must refuse to publish one and must leave an
+auditable trail (cpu_count + suppression reason) instead.
+"""
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.parallel import sweep_benchmark
+
+
+@pytest.fixture()
+def tiny_cells():
+    base = ExperimentConfig(bots=3, duration_ms=1_500.0, warmup_ms=500.0, seed=3)
+    return [
+        base.with_(name="bench-a", policy="zero"),
+        base.with_(name="bench-b", policy="fixed"),
+    ]
+
+
+def test_single_cpu_host_suppresses_the_speedup_claim(tiny_cells, monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+    payload = sweep_benchmark(cells=tiny_cells, jobs=2)
+    assert payload["schema"] == "bench-sweep/2"
+    assert payload["params"]["cpu_count"] == 1
+    assert payload["parallel_speedup"] is None
+    assert "single core" in payload["parallel_speedup_suppressed"]
+    # The raw wall-clock rows are still reported for auditing.
+    assert [row["mode"] for row in payload["rows"]] == [
+        "cold-serial", "cold-parallel", "warm-rerun",
+    ]
+    assert payload["stores_byte_identical"] is True
+
+
+def test_multi_core_host_reports_a_numeric_speedup(tiny_cells, monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+    payload = sweep_benchmark(cells=tiny_cells, jobs=2)
+    assert payload["params"]["cpu_count"] == 8
+    assert isinstance(payload["parallel_speedup"], float)
+    assert "parallel_speedup_suppressed" not in payload
+    warm_row = payload["rows"][2]
+    assert warm_row["cache_hits"] == len(tiny_cells)
+
+
+def test_unknown_cpu_count_is_not_treated_as_single_core(tiny_cells, monkeypatch):
+    # os.cpu_count() may return None; the refusal only fires on a
+    # *known* single-core host.
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+    payload = sweep_benchmark(cells=tiny_cells, jobs=2)
+    assert payload["params"]["cpu_count"] is None
+    assert isinstance(payload["parallel_speedup"], float)

@@ -138,6 +138,17 @@ def test_digest_changes_when_content_changes(config):
     assert config_digest(config.with_(bots=config.bots + 1)) != digest
 
 
+def test_digest_changes_with_shard_topology():
+    base = ExperimentConfig(policy="adaptive")
+    digests = {
+        config_digest(base),
+        config_digest(base.with_(shards=2)),
+        config_digest(base.with_(shards=4)),
+        config_digest(base.with_(shards=2, strip_width=2)),
+    }
+    assert len(digests) == 4
+
+
 @given(st.integers(min_value=-(2**31), max_value=2**31))
 def test_integral_numbers_hash_like_their_floats(value):
     base = config_to_dict(ExperimentConfig())
