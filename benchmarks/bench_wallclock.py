@@ -64,16 +64,23 @@ def test_suite_smoke():
     payload = wallclock.run_suite(
         bot_counts=(10,), events=120, crossings=60, refreshes=20, commits=500
     )
-    assert payload["schema"] == "bench-fanout/1"
+    assert payload["schema"] == "bench-fanout/2"
     benches = {(row["bench"], row["impl"]) for row in payload["rows"]}
     assert ("direct_broadcast", "scan") in benches
     assert ("direct_broadcast", "indexed") in benches
     assert ("entity_crossing", "scan") in benches
     assert ("entity_crossing", "indexed") in benches
     assert ("interest_refresh", "shared") in benches
-    assert ("dyconit_commit", "indexed") in benches
-    assert ("dyconit_flush", "indexed") in benches
+    # S17: the middleware benches report the legacy/batched pair.
+    assert ("dyconit_commit", "legacy") in benches
+    assert ("dyconit_commit", "batched") in benches
+    assert ("dyconit_flush", "legacy") in benches
+    assert ("dyconit_flush", "batched") in benches
+    assert ("commit_batch", "legacy") in benches
+    assert ("commit_batch", "batched") in benches
     for row in payload["rows"]:
         assert row["ops_per_sec"] > 0
         assert row["elapsed_s"] >= 0
     assert "direct_broadcast@10" in payload["speedups"]
+    assert "dyconit_commit@50" in payload["speedups"]
+    assert "commit_batch@50" in payload["speedups"]

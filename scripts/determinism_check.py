@@ -3,8 +3,10 @@
 
 Usage: [PYTHONPATH=src] python scripts/determinism_check.py [--jobs N]
 
-Runs a five-cell sweep — four E1+E9-shaped single-server cells plus a
-2-shard cluster cell (S16) — and prints, one per line, each cell's cache
+Runs a six-cell sweep — four E1+E9-shaped single-server cells, a
+2-shard cluster cell (S16), and a legacy-commit-path cell (S17 toggle
+off; the default cells all run the batched columnar path) — and prints,
+one per line, each cell's cache
 key (the content-addressed config digest) followed by the sha256 of the
 merged result store. CI runs this twice under different
 ``PYTHONHASHSEED`` values and diffs the output: any dependence on dict
@@ -53,6 +55,20 @@ def main() -> None:
             warmup_ms=1_000.0,
             seed=19,
             shards=2,
+        )
+    )
+    # The legacy per-object commit path (S17 toggle off) must stay as
+    # deterministic as the batched default the other cells exercise.
+    cells.append(
+        ExperimentConfig(
+            name="det-legacy-commit",
+            policy="adaptive",
+            movement="hotspot",
+            bots=4,
+            duration_ms=2_000.0,
+            warmup_ms=500.0,
+            seed=23,
+            use_batched_commit=False,
         )
     )
     for cell in cells:

@@ -356,8 +356,15 @@ class ShardServer(GameServer):
     def _apply_records(self, src: int, records: tuple) -> None:
         self._applying_remote = True
         try:
-            for record in records:
-                self._apply_record(src, record)
+            # Ghost application is the cluster's second commit burst (the
+            # first is the local action loop): every applied move/block
+            # re-enters `_on_world_event` and commits to the local
+            # dyconits, so batch them too. `_apply_record` flushes at the
+            # points where deferred delivery could observe a different
+            # world (spawns/despawns) or reorder direct sends (chat).
+            with self._commit_batching():
+                for record in records:
+                    self._apply_record(src, record)
         finally:
             self._applying_remote = False
 
@@ -373,6 +380,10 @@ class ShardServer(GameServer):
             # would publish it back to every peer. Encode straight to the
             # local sessions instead (legacy chat is an unbounded global
             # broadcast, so skipping the local dyconit hop matches it).
+            # Direct sends bypass the commit buffer: flush first so the
+            # per-session packet order matches the unbatched path.
+            if self._commit_buffer:
+                self._flush_commits()
             event = ChatEvent(
                 time=record.time, sender_id=record.sender_id, text=record.text
             )
@@ -391,6 +402,12 @@ class ShardServer(GameServer):
             # A correction/flush raced an ownership transfer we already
             # completed; authority always wins over ghost bookkeeping.
             return
+        if isinstance(record, (GhostSpawn, GhostDespawn)) and self._commit_buffer:
+            # Pre-mutation flush: a despawn applied here changes what the
+            # codec sees for the entity's *already-buffered* moves (an
+            # absent entity drops the packet), so deliver them against
+            # the world the unbatched path would have seen.
+            self._flush_commits()
         if isinstance(record, GhostSpawn):
             position = Vec3(record.x, record.y, record.z)
             if entity_id in self.ghost_ids:
@@ -443,6 +460,11 @@ class ShardServer(GameServer):
             old_chunk = event.old_position.to_chunk_pos()
             new_chunk = event.new_position.to_chunk_pos()
             if old_chunk != new_chunk:
+                # Corrections ride the same FIFO bus edge as dyconit
+                # flushes; drain the commit buffer first so records
+                # already committed keep their pre-correction position.
+                if self._commit_buffer:
+                    self._flush_commits()
                 self._peer_crossing_corrections(event, old_chunk, new_chunk)
         super()._on_world_event(event)
         if self._applying_remote or not isinstance(event, EntityMoveEvent):
@@ -453,6 +475,12 @@ class ShardServer(GameServer):
         new_chunk = event.new_position.to_chunk_pos()
         owner = self.router.shard_for_chunk(new_chunk)
         if owner != self.shard_id:
+            # Emigration despawns the entity and posts bus messages; the
+            # buffered commits (including this very move) must be
+            # delivered while the entity still exists and before the
+            # transfer appears on the bus.
+            if self._commit_buffer:
+                self._flush_commits()
             self._emigrate(entity_id, owner, event)
 
     def _peer_crossing_corrections(

@@ -129,22 +129,57 @@ class SubscriptionState:
 
 
 class Dyconit:
-    """One consistency unit covering a partition of the game world."""
+    """One consistency unit covering a partition of the game world.
+
+    With ``flat=True`` the per-subscription state lives in a columnar
+    :class:`~repro.core.flatstate.FlatDyconitState` (S17): subscription
+    accessors return :class:`~repro.core.flatstate.FlatSubscriptionView`
+    objects that are drop-in compatible with :class:`SubscriptionState`,
+    and the manager commits through :meth:`commit_flat` (one vectorized
+    add + gated threshold scan) instead of the per-object walk.
+    """
 
     def __init__(
         self,
         dyconit_id: Hashable,
         default_bounds: Bounds = Bounds.ZERO,
         merging: bool = True,
+        flat: bool = False,
     ) -> None:
         self.dyconit_id = dyconit_id
         self.default_bounds = default_bounds
         self.merging = merging
         self._subscriptions: dict[int, SubscriptionState] = {}
+        self._flat = None
+        if flat:
+            # Deferred import: flatstate imports SubscriptionState from
+            # this module.
+            from repro.core.flatstate import FlatDyconitState
+
+            self._flat = FlatDyconitState(merging=merging)
         #: Total weight ever committed; a measure of how "hot" this unit
         #: is, used by workload-aware policies.
         self.total_committed_weight = 0.0
         self.commit_count = 0
+
+    def _ensure_private(self) -> None:
+        """Convert the columnar store back to per-object states.
+
+        Repartitioning (merge/split) mutates subscription queues in ways
+        the columnar store does not model (cross-queue backlog moves), so
+        the manager privatizes a dyconit before merging into or out of
+        it. Merge targets are cold by policy design; they stay private
+        for the rest of their life (a split removes the target and
+        replacement dyconits start columnar again).
+        """
+        flat = self._flat
+        if flat is None:
+            return
+        self._subscriptions = {
+            sub.subscriber_id: flat.materialize_state(slot)
+            for slot, sub in enumerate(flat.subscriber_by_slot)
+        }
+        self._flat = None
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -152,19 +187,37 @@ class Dyconit:
 
     @property
     def subscriber_count(self) -> int:
+        if self._flat is not None:
+            return self._flat.n
         return len(self._subscriptions)
 
     def subscribers(self) -> list[Subscriber]:
+        if self._flat is not None:
+            return list(self._flat.subscriber_by_slot)
         return [state.subscriber for state in self._subscriptions.values()]
 
     def subscription_states(self) -> list[SubscriptionState]:
+        if self._flat is not None:
+            return self._flat.views()
         return list(self._subscriptions.values())
 
     def is_subscribed(self, subscriber_id: int) -> bool:
+        if self._flat is not None:
+            return subscriber_id in self._flat.slots
         return subscriber_id in self._subscriptions
 
     def subscribe(self, subscriber: Subscriber, bounds: Bounds | None = None) -> SubscriptionState:
         """Add ``subscriber``; idempotent (re-subscribing keeps the queue)."""
+        if self._flat is not None:
+            flat = self._flat
+            existing = flat.view(subscriber.subscriber_id)
+            if existing is not None:
+                if bounds is not None:
+                    existing.bounds = bounds
+                return existing
+            return flat.subscribe(
+                subscriber, bounds if bounds is not None else self.default_bounds
+            )
         state = self._subscriptions.get(subscriber.subscriber_id)
         if state is not None:
             if bounds is not None:
@@ -181,12 +234,24 @@ class Dyconit:
     def unsubscribe(self, subscriber_id: int) -> SubscriptionState | None:
         """Remove the subscription; returns its final state (with any
         still-pending updates) so the caller can decide to flush or drop."""
+        if self._flat is not None:
+            return self._flat.unsubscribe(subscriber_id)
         return self._subscriptions.pop(subscriber_id, None)
 
     def get_state(self, subscriber_id: int) -> SubscriptionState | None:
+        if self._flat is not None:
+            return self._flat.view(subscriber_id)
         return self._subscriptions.get(subscriber_id)
 
     def set_bounds(self, subscriber_id: int, bounds: Bounds) -> None:
+        if self._flat is not None:
+            slot = self._flat.slots.get(subscriber_id)
+            if slot is None:
+                raise KeyError(
+                    f"subscriber {subscriber_id} is not subscribed to {self.dyconit_id}"
+                )
+            self._flat.set_bounds_slot(slot, bounds)
+            return
         state = self._subscriptions.get(subscriber_id)
         if state is None:
             raise KeyError(
@@ -208,15 +273,41 @@ class Dyconit:
         states with their enqueue outcomes so the manager can run bound
         checks and merge accounting without a second lookup.
         """
-        self.total_committed_weight += update.weight
-        self.commit_count += 1
+        if self._flat is not None:
+            # Direct callers (tests, benchmarks) on a columnar dyconit:
+            # fall back to per-object states so the legacy return shape
+            # holds. The manager never takes this path — it commits
+            # through :meth:`commit_flat`.
+            self._ensure_private()
         touched: list[tuple[SubscriptionState, EnqueueResult]] = []
         for subscriber_id, state in self._subscriptions.items():
             if subscriber_id == exclude_subscriber:
                 continue
             result = state.enqueue(update)
             touched.append((state, result))
+        if touched:
+            # Hotness accounting counts commits that actually enqueued
+            # for someone: a commit with no subscribers (or only the
+            # excluded originator) changed nobody's inconsistency and
+            # must not make the unit look hot to the policy.
+            self.total_committed_weight += update.weight
+            self.commit_count += 1
         return touched
+
+    def commit_flat(
+        self, update: Update, exclude_subscriber: int | None, now: float
+    ):
+        """Columnar commit (S17): vectorized enqueue + gated bound scan.
+
+        Returns ``(n_enqueued, n_merged, events)`` — see
+        :meth:`FlatDyconitState.commit
+        <repro.core.flatstate.FlatDyconitState.commit>`.
+        """
+        result = self._flat.commit(update, exclude_subscriber, now)
+        if result[0]:
+            self.total_committed_weight += update.weight
+            self.commit_count += 1
+        return result
 
     def __repr__(self) -> str:
         return (

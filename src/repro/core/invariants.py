@@ -53,6 +53,15 @@ I8  mirrored border subscriptions (cluster, S16): at the post-pump
     dyconit (alias-resolved) carries the peer's subscription in P's
     middleware. Pairs with control messages still in flight are skipped
     — the mirror is only promised at the barrier.
+I9  flat columnar store (S17): per slot, a naive replay of the shared
+    commit log window reproduces the columns exactly — pending set,
+    accumulated error (bit-equal: same float op order), oldest-pending
+    time, pending count; slot table ↔ subscriber list mirror;
+    ``empty_subs`` ≡ zero-count slots; log bookkeeping (``last_key``,
+    back-pointers, per-subscriber exclusion indices) matches a fresh
+    scan; the scalar gates are conservative (may fire early, never
+    late). Server-side: the engine's commit buffer is drained at every
+    audit barrier — a tick never ends with commits still deferred.
 """
 
 from __future__ import annotations
@@ -105,6 +114,7 @@ class InvariantAuditor:
         self._check_subscription_mirror(system, violations)
         self._check_queue_accounting(system, violations)
         self._check_deadline_coverage(system, violations)
+        self._check_flat_stores(system, violations)
         return violations
 
     def check_server(self, server) -> list[Violation]:
@@ -118,6 +128,7 @@ class InvariantAuditor:
             violations.extend(self.check(server.dyconits))
         self._check_viewer_index(server, violations)
         self._check_link_fifo(server, violations)
+        self._check_commit_buffer_drained(server, violations)
         return violations
 
     def check_cluster(self, cluster) -> list[Violation]:
@@ -440,6 +451,277 @@ class InvariantAuditor:
                             "ghost replica of an entity no shard owns",
                         )
                     )
+
+    # ------------------------------------------------------------------
+    # I9 — flat columnar store ≡ naive log replay (S17)
+    # ------------------------------------------------------------------
+
+    def _check_flat_stores(self, system, violations: list[Violation]) -> None:
+        for dyconit_id, dyconit in system._dyconits.items():
+            flat = getattr(dyconit, "_flat", None)
+            if flat is not None:
+                self._check_flat_store(dyconit_id, flat, violations)
+
+    def _check_flat_store(self, dyconit_id, flat, violations: list[Violation]) -> None:
+        base = flat.base
+
+        # Slot table <-> subscriber list mirror (the columnar analogue of
+        # the I2 membership check).
+        if len(flat.subscriber_by_slot) != flat.n or len(flat.slots) != flat.n:
+            violations.append(
+                Violation(
+                    "I9.slot-mirror",
+                    repr(dyconit_id),
+                    f"n={flat.n} but {len(flat.subscriber_by_slot)} slot "
+                    f"subscribers / {len(flat.slots)} slot ids",
+                )
+            )
+            return
+        for subscriber_id, slot in flat.slots.items():
+            if (
+                not 0 <= slot < flat.n
+                or flat.subscriber_by_slot[slot].subscriber_id != subscriber_id
+            ):
+                violations.append(
+                    Violation(
+                        "I9.slot-mirror",
+                        f"({dyconit_id!r}, subscriber {subscriber_id})",
+                        f"slots[{subscriber_id}]={slot} does not round-trip "
+                        f"through subscriber_by_slot",
+                    )
+                )
+                return
+        if set(flat._views) != set(flat.slots):
+            violations.append(
+                Violation(
+                    "I9.slot-mirror",
+                    repr(dyconit_id),
+                    f"view registry {sorted(flat._views)} != slot table "
+                    f"{sorted(flat.slots)}",
+                )
+            )
+
+        # Log bookkeeping: last-key map, merge back-pointers and the
+        # per-subscriber exclusion indices must all match a fresh scan.
+        seen_last: dict = {}
+        for i, update in enumerate(flat.log):
+            key = update.merge_key
+            expected_prev = seen_last.get(key)
+            prev = flat.log_prev[i]
+            if expected_prev is None:
+                if prev >= base:
+                    violations.append(
+                        Violation(
+                            "I9.log-chain",
+                            f"({dyconit_id!r}, log entry {base + i})",
+                            f"back-pointer {prev} names a retained entry but the "
+                            f"key has no earlier retained occurrence",
+                        )
+                    )
+            elif prev != expected_prev:
+                violations.append(
+                    Violation(
+                        "I9.log-chain",
+                        f"({dyconit_id!r}, log entry {base + i})",
+                        f"back-pointer {prev} != previous same-key entry "
+                        f"{expected_prev}",
+                    )
+                )
+            seen_last[key] = base + i
+        if flat.merging and flat.last_key != seen_last:
+            violations.append(
+                Violation(
+                    "I9.log-chain",
+                    repr(dyconit_id),
+                    "last_key map differs from a fresh scan of the log",
+                )
+            )
+        excl_expected: dict[int, list[int]] = {}
+        for i, excluded in enumerate(flat.log_excl):
+            if excluded is not None:
+                excl_expected.setdefault(excluded, []).append(base + i)
+        if excl_expected != flat.excl_by_sub:
+            violations.append(
+                Violation(
+                    "I9.log-chain",
+                    repr(dyconit_id),
+                    "excl_by_sub index differs from a fresh scan of the log",
+                )
+            )
+
+        # Per-slot naive replay of the cursor window, independent of
+        # materialize_pairs: the columns must match exactly (the error
+        # sum is the same float op sequence, so bit-equal).
+        counts: list[int] = []
+        for slot in range(flat.n):
+            subscriber_id = flat.subscriber_by_slot[slot].subscriber_id
+            subject = f"({dyconit_id!r}, subscriber {subscriber_id})"
+            start = max(int(flat.cursor[slot]), base)
+            err = 0.0
+            oldest: float | None = None
+            n_items = 0
+            pending: dict = {}
+            for i in range(start - base, len(flat.log)):
+                if flat.log_excl[i] == subscriber_id:
+                    continue
+                update = flat.log[i]
+                err += update.weight
+                n_items += 1
+                if oldest is None:
+                    oldest = update.time
+                if flat.merging:
+                    key = update.merge_key
+                    if key in pending:
+                        del pending[key]
+                    pending[key] = update
+            count_expected = len(pending) if flat.merging else n_items
+            count_actual = int(flat.count[slot]) + flat.count_shared
+            counts.append(count_actual)
+            if count_actual != count_expected:
+                violations.append(
+                    Violation(
+                        "I9.replay",
+                        subject,
+                        f"pending count column {count_actual} != replayed "
+                        f"{count_expected}",
+                    )
+                )
+            if float(flat.err[slot]) != err:
+                violations.append(
+                    Violation(
+                        "I9.replay",
+                        subject,
+                        f"error column {float(flat.err[slot])!r} != replayed "
+                        f"{err!r} (must be bit-equal)",
+                    )
+                )
+            col_oldest = float(flat.oldest[slot])
+            if oldest is None:
+                if not math.isinf(col_oldest):
+                    violations.append(
+                        Violation(
+                            "I9.replay",
+                            subject,
+                            f"empty window but oldest column holds {col_oldest:g}",
+                        )
+                    )
+            elif col_oldest != oldest:
+                violations.append(
+                    Violation(
+                        "I9.replay",
+                        subject,
+                        f"oldest column {col_oldest!r} != first windowed "
+                        f"update time {oldest!r}",
+                    )
+                )
+            if flat.merging:
+                view_pending = flat._views[subscriber_id].pending
+                if list(view_pending.items()) != list(pending.items()):
+                    violations.append(
+                        Violation(
+                            "I9.replay",
+                            subject,
+                            "materialized pending differs from naive replay",
+                        )
+                    )
+            if (count_actual == 0) != (subscriber_id in flat.empty_subs):
+                violations.append(
+                    Violation(
+                        "I9.empty-set",
+                        subject,
+                        f"count {count_actual} inconsistent with empty_subs "
+                        f"membership {subscriber_id in flat.empty_subs}",
+                    )
+                )
+
+        # Scalar gates: exact where claimed exact, conservative otherwise
+        # (a gate that can fire late silently breaks a bound promise).
+        if flat.n:
+            cursors = [int(flat.cursor[slot]) for slot in range(flat.n)]
+            if flat.max_cursor != max(cursors):
+                violations.append(
+                    Violation(
+                        "I9.gates",
+                        repr(dyconit_id),
+                        f"max_cursor {flat.max_cursor} != exact {max(cursors)}",
+                    )
+                )
+            if flat.min_cursor_lb > min(cursors):
+                violations.append(
+                    Violation(
+                        "I9.gates",
+                        repr(dyconit_id),
+                        f"min_cursor_lb {flat.min_cursor_lb} above the true "
+                        f"minimum {min(cursors)} — windows could be clipped",
+                    )
+                )
+            bnum = [float(flat.b_num[slot]) for slot in range(flat.n)]
+            if flat.n_finite_bnum != sum(1 for b in bnum if math.isfinite(b)):
+                violations.append(
+                    Violation(
+                        "I9.gates",
+                        repr(dyconit_id),
+                        f"n_finite_bnum {flat.n_finite_bnum} != exact count",
+                    )
+                )
+            bstale = [float(flat.b_stale[slot]) for slot in range(flat.n)]
+            if flat.any_finite_stale != any(math.isfinite(b) for b in bstale):
+                violations.append(
+                    Violation(
+                        "I9.gates", repr(dyconit_id), "any_finite_stale is wrong"
+                    )
+                )
+            if flat.min_bstale != min(bstale):
+                violations.append(
+                    Violation(
+                        "I9.gates",
+                        repr(dyconit_id),
+                        f"min_bstale {flat.min_bstale:g} != exact {min(bstale):g}",
+                    )
+                )
+            true_deadline = min(
+                float(flat.oldest[slot]) + bstale[slot] for slot in range(flat.n)
+            )
+            if flat.min_deadline > true_deadline + 1e-6:
+                violations.append(
+                    Violation(
+                        "I9.gates",
+                        repr(dyconit_id),
+                        f"staleness gate {flat.min_deadline:g} later than the "
+                        f"earliest true deadline {true_deadline:g} — a queue "
+                        f"would flush late",
+                    )
+                )
+            border = [float(flat.b_order[slot]) for slot in range(flat.n)]
+            if flat.min_border != min(border):
+                violations.append(
+                    Violation(
+                        "I9.gates",
+                        repr(dyconit_id),
+                        f"min_border {flat.min_border:g} != exact {min(border):g}",
+                    )
+                )
+            if flat.count_ub < max(counts):
+                violations.append(
+                    Violation(
+                        "I9.gates",
+                        repr(dyconit_id),
+                        f"count_ub {flat.count_ub} below the true max pending "
+                        f"count {max(counts)} — the order gate could fire late",
+                    )
+                )
+
+    def _check_commit_buffer_drained(self, server, violations: list[Violation]) -> None:
+        buffer = getattr(server, "_commit_buffer", None)
+        if buffer:
+            violations.append(
+                Violation(
+                    "I9.commit-buffer",
+                    "GameServer",
+                    f"{len(buffer)} commits still buffered at the audit "
+                    f"barrier — a tick must end with the buffer drained",
+                )
+            )
 
     # ------------------------------------------------------------------
     # I8 — mirrored cross-shard subscriptions

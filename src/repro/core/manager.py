@@ -42,11 +42,19 @@ class DyconitSystem:
         time_source: Callable[[], float] | None = None,
         merging_enabled: bool = True,
         telemetry: Telemetry | None = None,
+        use_batched_commit: bool = True,
     ) -> None:
         self.policy = policy
         self.partitioner = partitioner if partitioner is not None else ChunkPartitioner()
         #: E8(a) ablation switch; affects dyconits created after the change.
         self.merging_enabled = merging_enabled
+        #: S17 toggle: new dyconits use the flat columnar subscription
+        #: store and the vectorized commit path. Off = legacy per-object
+        #: states, kept as differential ground truth (the PR 2 playbook).
+        self.use_batched_commit = use_batched_commit
+        #: Bumped by merge/split/remove so :meth:`commit_many` knows to
+        #: re-resolve a cached (dyconit id -> dyconit) run mid-batch.
+        self._repartition_epoch = 0
         self._time_source = time_source if time_source is not None else (lambda: 0.0)
         self._dyconits: dict[Hashable, Dyconit] = {}
         #: Runtime repartitioning: source id -> merged target id. Commits
@@ -114,7 +122,11 @@ class DyconitSystem:
     def get_or_create(self, dyconit_id: Hashable) -> Dyconit:
         dyconit = self._dyconits.get(dyconit_id)
         if dyconit is None:
-            dyconit = Dyconit(dyconit_id, merging=self.merging_enabled)
+            dyconit = Dyconit(
+                dyconit_id,
+                merging=self.merging_enabled,
+                flat=self.use_batched_commit,
+            )
             self._dyconits[dyconit_id] = dyconit
             self.stats.dyconits_created += 1
         return dyconit
@@ -126,6 +138,7 @@ class DyconitSystem:
         dyconit = self._dyconits.pop(dyconit_id, None)
         if dyconit is None:
             return
+        self._repartition_epoch += 1
         # Removing a merge *target* releases its aliases: a later commit
         # to a source id must create a fresh dyconit under that id, not
         # resurrect an empty ghost under the removed target id (where it
@@ -164,6 +177,12 @@ class DyconitSystem:
         """
         target_id = self.resolve(target_id)
         target = self.get_or_create(target_id)
+        self._repartition_epoch += 1
+        # Cross-queue backlog moves below mutate SubscriptionStates in
+        # ways the columnar store does not model; drop the target and
+        # every source back to per-object states first (S17). Merge
+        # targets are cold by policy design, so they stay private.
+        target._ensure_private()
         for source_id in source_ids:
             source_id = self.resolve(source_id)
             if source_id == target_id:
@@ -179,6 +198,7 @@ class DyconitSystem:
             source = self._dyconits.pop(source_id, None)
             if source is None:
                 continue
+            source._ensure_private()
             target.total_committed_weight += source.total_committed_weight
             target.commit_count += source.commit_count
             for state in source.subscription_states():
@@ -404,9 +424,69 @@ class DyconitSystem:
         """Commit an update to an explicit dyconit."""
         dyconit_id = self.resolve(dyconit_id)
         dyconit = self.get_or_create(dyconit_id)
-        self.stats.commits += 1
         if self._tm_commits is not None:
             self._tm_commits.increment()
+        self._commit_resolved(dyconit_id, dyconit, update, exclude_subscriber)
+
+    def commit_many(
+        self,
+        batch: Sequence[tuple[Hashable, Update, int | None]],
+    ) -> None:
+        """Commit a batch of ``(dyconit_id, update, exclude_subscriber)``.
+
+        Consecutive items targeting the same (unresolved) dyconit id form
+        a *run* that shares one alias resolution and dyconit lookup —
+        the per-update overhead the legacy path pays on every commit.
+        Runs are only formed over consecutive items so the delivery order
+        of an interleaved stream is exactly that of the equivalent
+        :meth:`commit_to` loop. A repartition triggered mid-batch (e.g.
+        by a delivery handler) bumps ``_repartition_epoch`` and forces
+        the cached resolution to be redone.
+        """
+        marker = object()
+        run_id: object = marker
+        epoch = -1
+        resolved: Hashable = None
+        dyconit: Dyconit | None = None
+        committed = 0
+        for dyconit_id, update, exclude_subscriber in batch:
+            if dyconit_id != run_id or epoch != self._repartition_epoch:
+                run_id = dyconit_id
+                epoch = self._repartition_epoch
+                resolved = self.resolve(dyconit_id)
+                dyconit = self.get_or_create(resolved)
+            committed += 1
+            self._commit_resolved(resolved, dyconit, update, exclude_subscriber)
+        if committed and self._tm_commits is not None:
+            self._tm_commits.increment(committed)
+
+    def _commit_resolved(
+        self,
+        dyconit_id: Hashable,
+        dyconit: Dyconit,
+        update: Update,
+        exclude_subscriber: int | None,
+    ) -> None:
+        """Shared commit body; ``dyconit_id`` must already be resolved."""
+        self.stats.commits += 1
+        if dyconit._flat is not None:
+            n_enqueued, n_merged, events = dyconit.commit_flat(
+                update, exclude_subscriber, self.now
+            )
+            if not n_enqueued:
+                return
+            self.stats.updates_enqueued += n_enqueued
+            self.stats.updates_merged += n_merged
+            self.stats.bound_checks += n_enqueued
+            if self._tm_enqueued is not None:
+                self._tm_enqueued.increment(n_enqueued)
+            if events is not None:
+                for view, reason in events:
+                    if reason is not None:
+                        self._deliver(dyconit_id, view, reason=reason)
+                    else:
+                        self._push_deadline(dyconit_id, view)
+            return
         touched = dyconit.commit(update, exclude_subscriber)
         if not touched:
             return

@@ -99,6 +99,10 @@ class ExperimentConfig:
     #: Checked mode (S15): audit middleware invariants every N ticks
     #: during the run (0 = off); any violation aborts the experiment.
     audit_every_n_ticks: int = 0
+    #: S17 batched commit pipeline (flat columnar subscription state +
+    #: per-tick ``commit_many`` bursts). Off = the legacy per-object
+    #: commit path, kept as packet-identical differential ground truth.
+    use_batched_commit: bool = True
     #: Sharded world (S16): number of logical shards. 1 = the classic
     #: single-server path; N > 1 runs a :class:`ShardedCluster` with
     #: cross-shard dyconit federation (requires a dyconit policy).
@@ -140,6 +144,7 @@ class ExperimentConfig:
             cost=self.cost,
             faults=self.faults,
             audit_every_n_ticks=self.audit_every_n_ticks,
+            use_batched_commit=self.use_batched_commit,
             seed=self.seed,
         )
 

@@ -47,8 +47,9 @@ from repro.telemetry.hub import Telemetry, get_telemetry
 #: Version tag hashed into every cache key; bump when the meaning of a
 #: config field (or the result schema) changes so stale cells never
 #: masquerade as current ones. /2: configs grew shards/strip_width and
-#: results grew the S16 cluster counters.
-CACHE_SCHEMA = "sweep-cell/2"
+#: results grew the S16 cluster counters. /3: configs grew the S17
+#: use_batched_commit toggle.
+CACHE_SCHEMA = "sweep-cell/3"
 
 
 def default_start_method() -> str:

@@ -15,7 +15,10 @@ Four benches, each returning ops/sec over a steady-state scenario:
 * ``interest_refresh`` — re-centering one player's view across a chunk
   border (shared by both paths; tracked so index upkeep stays honest).
 * ``dyconit_commit`` / ``dyconit_flush`` — middleware enqueue and the
-  (now sort-free) drain.
+  (now sort-free) drain, legacy per-object path vs the S17 batched
+  columnar pipeline.
+* ``commit_batch`` — a per-tick burst spread over many dyconits, the
+  shape the engine's commit buffer produces (legacy vs batched).
 
 Scenarios are deterministic (seeded), sized by (bots, events), and use
 synchronous delivery with no-op handlers so the timed region is the
@@ -257,18 +260,14 @@ class _StaticPolicy(Policy):
         return self.bounds
 
 
-def bench_dyconit_commit_flush(subscribers: int, commits: int = 20_000):
-    """Middleware enqueue throughput and sort-free flush drain cost."""
-    system = DyconitSystem(
-        _StaticPolicy(Bounds.INFINITE), time_source=lambda: 0.0
-    )
-    dyconit_id = ("chunk", 0, 0)
-    for subscriber_id in range(subscribers):
-        system.subscribe(
-            dyconit_id,
-            Subscriber(subscriber_id=subscriber_id, deliver=lambda d, u: None),
-        )
-    events = [
+#: Per-tick commit burst size used by the batched middleware benches —
+#: roughly one move event per connected player per tick at the larger
+#: fleet size, matching how the engine's commit buffer drains.
+COMMIT_BATCH = 256
+
+
+def _commit_events(commits: int) -> list[EntityMoveEvent]:
+    return [
         EntityMoveEvent(
             time=float(index),
             entity_id=index % 64 + 1,
@@ -277,20 +276,111 @@ def bench_dyconit_commit_flush(subscribers: int, commits: int = 20_000):
         )
         for index in range(commits)
     ]
-    start = perf_counter()
-    for event in events:
-        system.commit_to(dyconit_id, event)
-    commit_elapsed = perf_counter() - start
-    start = perf_counter()
-    system.flush_all()
-    flush_elapsed = perf_counter() - start
-    delivered = system.stats.updates_delivered
-    return [
-        _make_row("dyconit_commit", "indexed", subscribers, commits, commit_elapsed),
-        _make_row(
-            "dyconit_flush", "indexed", subscribers, max(1, delivered), flush_elapsed
-        ),
-    ]
+
+
+def _make_commit_system(subscribers: int, use_batched: bool) -> DyconitSystem:
+    system = DyconitSystem(
+        _StaticPolicy(Bounds.INFINITE),
+        time_source=lambda: 0.0,
+        use_batched_commit=use_batched,
+    )
+    dyconit_id = ("chunk", 0, 0)
+    for subscriber_id in range(subscribers):
+        system.subscribe(
+            dyconit_id,
+            Subscriber(subscriber_id=subscriber_id, deliver=lambda d, u: None),
+        )
+    return system
+
+
+def bench_dyconit_commit_flush(subscribers: int, commits: int = 20_000):
+    """Middleware enqueue throughput and sort-free flush drain cost.
+
+    Legacy vs batched impl rows (the S17 pair, like scan/indexed for the
+    broadcast benches): the legacy impl is the per-object ``commit_to``
+    loop against dict-of-SubscriptionState queues; the batched impl
+    drains the same event stream through ``commit_many`` in per-tick
+    bursts against the flat columnar store.
+    """
+    dyconit_id = ("chunk", 0, 0)
+    events = _commit_events(commits)
+    rows = []
+    for impl, use_batched in (("legacy", False), ("batched", True)):
+        system = _make_commit_system(subscribers, use_batched)
+        start = perf_counter()
+        if use_batched:
+            for offset in range(0, len(events), COMMIT_BATCH):
+                system.commit_many(
+                    [
+                        (dyconit_id, event, None)
+                        for event in events[offset : offset + COMMIT_BATCH]
+                    ]
+                )
+        else:
+            for event in events:
+                system.commit_to(dyconit_id, event)
+        commit_elapsed = perf_counter() - start
+        start = perf_counter()
+        system.flush_all()
+        flush_elapsed = perf_counter() - start
+        delivered = system.stats.updates_delivered
+        rows.append(
+            _make_row("dyconit_commit", impl, subscribers, commits, commit_elapsed)
+        )
+        rows.append(
+            _make_row(
+                "dyconit_flush", impl, subscribers, max(1, delivered), flush_elapsed
+            )
+        )
+    return rows
+
+
+def bench_commit_batch(subscribers: int, commits: int = 20_000):
+    """A realistic per-tick burst spread over many dyconits.
+
+    Unlike :func:`bench_dyconit_commit_flush` (one hot dyconit), the
+    event stream here touches 16 chunk dyconits in entity-id runs — the
+    shape the engine's commit buffer actually produces — so the batched
+    impl also amortizes alias resolution and dyconit lookup per run.
+    Each subscriber is subscribed to every chunk (an 11×11 view covers
+    a 16-chunk neighbourhood easily).
+    """
+    chunk_ids = [("chunk", cx, 0) for cx in range(16)]
+    events = _commit_events(commits)
+    rows = []
+    for impl, use_batched in (("legacy", False), ("batched", True)):
+        system = DyconitSystem(
+            _StaticPolicy(Bounds.INFINITE),
+            time_source=lambda: 0.0,
+            use_batched_commit=use_batched,
+        )
+        for subscriber_id in range(subscribers):
+            subscriber = Subscriber(
+                subscriber_id=subscriber_id, deliver=lambda d, u: None
+            )
+            for chunk_id in chunk_ids:
+                system.subscribe(chunk_id, subscriber)
+        # Entity e wanders chunk e%16: consecutive events for one entity
+        # form same-dyconit runs, as in a real buffered tick.
+        targets = [chunk_ids[event.entity_id % 16] for event in events]
+        start = perf_counter()
+        if use_batched:
+            for offset in range(0, len(events), COMMIT_BATCH):
+                system.commit_many(
+                    [
+                        (targets[index], events[index], None)
+                        for index in range(
+                            offset, min(offset + COMMIT_BATCH, len(events))
+                        )
+                    ]
+                )
+        else:
+            for index, event in enumerate(events):
+                system.commit_to(targets[index], event)
+        elapsed = perf_counter() - start
+        system.flush_all()
+        rows.append(_make_row("commit_batch", impl, subscribers, commits, elapsed))
+    return rows
 
 
 # ----------------------------------------------------------------------
@@ -316,18 +406,26 @@ def run_suite(
             bench_interest_refresh(bots, refreshes=refreshes, seed=seed, faults=faults)
         )
     rows.extend(bench_dyconit_commit_flush(50, commits=commits))
+    rows.extend(bench_commit_batch(50, commits=commits))
     speedups = {}
     by_key = {(row.bench, row.impl, row.bots): row for row in rows}
+    # Each optimized impl is reported as a speedup over its baseline
+    # twin: indexed-vs-scan for the fan-out benches, batched-vs-legacy
+    # for the S17 commit pipeline.
+    baseline_impl = {"indexed": "scan", "batched": "legacy"}
     for (bench, impl, bots), row in by_key.items():
-        if impl != "indexed":
+        baseline_name = baseline_impl.get(impl)
+        if baseline_name is None:
             continue
-        scan = by_key.get((bench, "scan", bots))
-        if scan is not None and row.ops_per_sec > 0:
+        baseline = by_key.get((bench, baseline_name, bots))
+        if baseline is not None and baseline.ops_per_sec > 0:
             speedups[f"{bench}@{bots}"] = round(
-                row.ops_per_sec / scan.ops_per_sec, 2
+                row.ops_per_sec / baseline.ops_per_sec, 2
             )
     return {
-        "schema": "bench-fanout/1",
+        # /2: dyconit_commit/dyconit_flush grew legacy+batched impl rows
+        # (S17) and the commit_batch bench joined the suite.
+        "schema": "bench-fanout/2",
         "params": {
             "bot_counts": list(bot_counts),
             "events": events,

@@ -59,6 +59,18 @@ class WireError(ValueError):
     """Malformed bytes on decode."""
 
 
+# Precompiled layouts for the hot codec paths: module-level pack calls
+# re-parse the format string (behind a cache lock) on every call, which
+# shows up at wire-validation volume. ``Struct.pack``/``unpack_from``
+# skip that entirely.
+_UINT64 = struct.Struct(">Q")
+_CHUNK_XZ = struct.Struct(">ii")
+_XYZ_F64 = struct.Struct(">ddd")
+_SHORT3 = struct.Struct(">hhh")
+_INT64 = struct.Struct(">q")
+_INT32 = struct.Struct(">i")
+
+
 # ----------------------------------------------------------------------
 # Primitives
 # ----------------------------------------------------------------------
@@ -101,11 +113,11 @@ def pack_position(pos: BlockPos) -> bytes:
     x = pos.x & 0x3FFFFFF
     z = pos.z & 0x3FFFFFF
     y = pos.y & 0xFFF
-    return struct.pack(">Q", (x << 38) | (z << 12) | y)
+    return _UINT64.pack((x << 38) | (z << 12) | y)
 
 
 def unpack_position(data: bytes, offset: int) -> tuple[BlockPos, int]:
-    (packed,) = struct.unpack_from(">Q", data, offset)
+    (packed,) = _UINT64.unpack_from(data, offset)
     x = packed >> 38
     z = (packed >> 12) & 0x3FFFFFF
     y = packed & 0xFFF
@@ -140,7 +152,7 @@ def _encode_body(packet: Packet) -> bytes:
         return pack_position(packet.pos) + write_varint(int(packet.block))
     if isinstance(packet, MultiBlockChangePacket):
         body = bytearray()
-        body += struct.pack(">ii", packet.chunk.cx, packet.chunk.cz)
+        body += _CHUNK_XZ.pack(packet.chunk.cx, packet.chunk.cz)
         body += write_varint(len(packet.changes))
         for pos, block in packet.changes:
             lx, y, lz = pos.local()
@@ -148,19 +160,19 @@ def _encode_body(packet: Packet) -> bytes:
             body += bytes([(lx << 4) | lz, y & 0xFF, int(block) & 0xFF])
         return bytes(body)
     if isinstance(packet, ChunkDataPacket):
-        header = struct.pack(">ii", packet.chunk.cx, packet.chunk.cz)
+        header = _CHUNK_XZ.pack(packet.chunk.cx, packet.chunk.cz)
         payload_size = packet.body_size() - len(header)
         return header + bytes(payload_size)
     if isinstance(packet, ChunkUnloadPacket):
-        return struct.pack(">ii", packet.chunk.cx, packet.chunk.cz)
+        return _CHUNK_XZ.pack(packet.chunk.cx, packet.chunk.cz)
     if isinstance(packet, SpawnEntityPacket):
         body = bytearray()
         body += write_varint(packet.entity_id)
         body += bytes(16)  # UUID
         body += bytes([_ENTITY_KIND_IDS[packet.entity_kind]])
-        body += struct.pack(">ddd", packet.position.x, packet.position.y, packet.position.z)
+        body += _XYZ_F64.pack(packet.position.x, packet.position.y, packet.position.z)
         body += _pack_angles(0.0, 0.0)
-        body += struct.pack(">hhh", 0, 0, 0)  # velocity
+        body += _SHORT3.pack(0, 0, 0)  # velocity
         body += packet.name.encode("latin-1", errors="replace")
         return bytes(body)
     if isinstance(packet, DestroyEntitiesPacket):
@@ -171,8 +183,7 @@ def _encode_body(packet: Packet) -> bytes:
     if isinstance(packet, EntityPositionPacket):
         body = bytearray(write_varint(packet.entity_id))
         # Fixed-point deltas: blocks * 4096 in a short (protocol layout).
-        body += struct.pack(
-            ">hhh",
+        body += _SHORT3.pack(
             _clamp_short(packet.delta.x * 4096),
             _clamp_short(packet.delta.y * 4096),
             _clamp_short(packet.delta.z * 4096),
@@ -182,7 +193,7 @@ def _encode_body(packet: Packet) -> bytes:
         return bytes(body)
     if isinstance(packet, EntityTeleportPacket):
         body = bytearray(write_varint(packet.entity_id))
-        body += struct.pack(">ddd", packet.position.x, packet.position.y, packet.position.z)
+        body += _XYZ_F64.pack(packet.position.x, packet.position.y, packet.position.z)
         body += _pack_angles(packet.yaw, packet.pitch)
         body += b"\x01"
         return bytes(body)
@@ -191,9 +202,9 @@ def _encode_body(packet: Packet) -> bytes:
         scaffold = b'{"text":"' + b" " * (ChatMessagePacket.JSON_SCAFFOLD_BYTES - 11) + b'"}'
         return write_varint(packet.sender_id & 0x7F) + scaffold + text
     if isinstance(packet, KeepAlivePacket):
-        return struct.pack(">q", packet.nonce)
+        return _INT64.pack(packet.nonce)
     if isinstance(packet, JoinGamePacket):
-        header = struct.pack(">i", packet.entity_id)
+        header = _INT32.pack(packet.entity_id)
         return header + bytes(packet.body_size() - len(header))
     raise WireError(f"no encoder for {type(packet).__name__}")
 
@@ -249,7 +260,7 @@ def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
         block, offset = read_varint(data, offset)
         return BlockChangePacket(pos=pos, block=BlockType(block))
     if cls is ChunkUnloadPacket:
-        cx, cz = struct.unpack_from(">ii", data, offset)
+        cx, cz = _CHUNK_XZ.unpack_from(data, offset)
         return ChunkUnloadPacket(chunk=ChunkPos(cx, cz))
     if cls is DestroyEntitiesPacket:
         count, offset = read_varint(data, offset)
@@ -260,7 +271,7 @@ def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
         return DestroyEntitiesPacket(entity_ids=tuple(ids))
     if cls is EntityPositionPacket:
         entity_id, offset = read_varint(data, offset)
-        dx, dy, dz = struct.unpack_from(">hhh", data, offset)
+        dx, dy, dz = _SHORT3.unpack_from(data, offset)
         offset += 6
         yaw, pitch, offset = _unpack_angles(data, offset)
         return EntityPositionPacket(
@@ -271,7 +282,7 @@ def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
         )
     if cls is EntityTeleportPacket:
         entity_id, offset = read_varint(data, offset)
-        x, y, z = struct.unpack_from(">ddd", data, offset)
+        x, y, z = _XYZ_F64.unpack_from(data, offset)
         offset += 24
         yaw, pitch, offset = _unpack_angles(data, offset)
         return EntityTeleportPacket(
@@ -282,7 +293,7 @@ def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
         offset += 16  # UUID
         kind = _ENTITY_KINDS_BY_ID[data[offset]]
         offset += 1
-        x, y, z = struct.unpack_from(">ddd", data, offset)
+        x, y, z = _XYZ_F64.unpack_from(data, offset)
         offset += 24
         offset += 2 + 6  # angles + velocity
         name = data[offset:end].decode("latin-1")
@@ -290,10 +301,10 @@ def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
             entity_id=entity_id, entity_kind=kind, position=Vec3(x, y, z), name=name
         )
     if cls is KeepAlivePacket:
-        (nonce,) = struct.unpack_from(">q", data, offset)
+        (nonce,) = _INT64.unpack_from(data, offset)
         return KeepAlivePacket(nonce=nonce)
     if cls is ChunkDataPacket:
-        cx, cz = struct.unpack_from(">ii", data, offset)
+        cx, cz = _CHUNK_XZ.unpack_from(data, offset)
         # Payload size identifies the original block census only up to
         # the compression model; return a size-equivalent packet.
         payload = end - offset - 8
@@ -303,7 +314,7 @@ def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
             non_air_blocks=_invert_chunk_payload(payload),
         )
     if cls is JoinGamePacket:
-        (entity_id,) = struct.unpack_from(">i", data, offset)
+        (entity_id,) = _INT32.unpack_from(data, offset)
         return JoinGamePacket(entity_id=entity_id)
     if cls is ChatMessagePacket:
         sender, offset = read_varint(data, offset)
@@ -311,7 +322,7 @@ def _decode_body(cls: type, data: bytes, offset: int, end: int) -> Packet:
         text = data[scaffold_end:end].decode("utf-8")
         return ChatMessagePacket(sender_id=sender, text=text)
     if cls is MultiBlockChangePacket:
-        cx, cz = struct.unpack_from(">ii", data, offset)
+        cx, cz = _CHUNK_XZ.unpack_from(data, offset)
         offset += 8
         count, offset = read_varint(data, offset)
         changes = []

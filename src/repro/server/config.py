@@ -35,6 +35,12 @@ class ServerConfig:
     #: kept for differential tests and the wall-clock benchmark; the two
     #: are packet-for-packet identical.
     use_viewer_index: bool = True
+    #: S17 batched commit pipeline: dyconits use the flat columnar
+    #: subscription store, and the engine buffers a tick's bufferable
+    #: commits (moves/blocks/chat) through ``DyconitSystem.commit_many``.
+    #: Off = the legacy per-object commit path, kept as differential
+    #: ground truth; the two are packet-for-packet identical.
+    use_batched_commit: bool = True
     #: Fleet-wide fault plan applied to every client link (None = no
     #: fault layer; per-client plans can be passed to ``connect``).
     faults: FaultPlan | None = None

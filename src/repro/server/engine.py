@@ -17,6 +17,7 @@ capacity experiment measures.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Hashable, Sequence
 
 from repro.core.invariants import InvariantAuditor, InvariantViolationError
@@ -39,7 +40,12 @@ from repro.sim.simulator import Simulation
 from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
 from repro.world.block import BlockType
 from repro.world.entity import EntityKind
-from repro.world.events import EntityMoveEvent, WorldEvent
+from repro.world.events import (
+    BlockChangeEvent,
+    ChatEvent,
+    EntityMoveEvent,
+    WorldEvent,
+)
 from repro.world.geometry import Vec3
 from repro.world.world import World
 from repro.server.codec import SessionCodec
@@ -111,6 +117,11 @@ class GameServer:
         else:
             self._auditor = None
 
+        #: S17: columnar dyconit state + per-burst commit batching.
+        self.use_batched_commit = self.config.use_batched_commit
+        #: Non-None only inside a commit-batching scope: pending
+        #: ``(dyconit_id, update, exclude)`` triples for ``commit_many``.
+        self._commit_buffer: list | None = None
         self.dyconits: DyconitSystem | None = None
         if not direct_mode:
             if policy is None:
@@ -120,6 +131,7 @@ class GameServer:
                 partitioner if partitioner is not None else ChunkPartitioner(),
                 time_source=lambda: sim.now,
                 telemetry=self.telemetry,
+                use_batched_commit=self.use_batched_commit,
             )
 
         self.sessions: dict[int, PlayerSession] = {}
@@ -240,6 +252,11 @@ class GameServer:
         session = self.sessions.pop(client_id, None)
         if session is None:
             return
+        # A disconnect inside a commit-batching burst despawns the avatar
+        # below; anything buffered must be committed (and encoded) while
+        # the entity still exists.
+        if self._commit_buffer:
+            self._flush_commits()
         if self.dyconits is not None:
             self.dyconits.remove_subscriber(client_id, flush_pending=False)
         self.interest.on_leave(session)
@@ -283,13 +300,69 @@ class GameServer:
     # Broadcast paths
     # ------------------------------------------------------------------
 
+    # -- S17 commit batching -------------------------------------------
+
+    @contextmanager
+    def _commit_batching(self):
+        """Buffer bufferable commits for one burst (action loop, mob
+        step, remote-record apply) and release them through
+        ``commit_many`` at scope exit.
+
+        The buffered triples were classified and partitioned at event
+        time, so the replayed ``commit_to`` sequence is exactly the one
+        the unbuffered path would have issued — only the per-commit
+        resolve/lookup overhead is amortized. Reentrant scopes no-op.
+        """
+        if (
+            self.dyconits is None
+            or not self.use_batched_commit
+            or self._commit_buffer is not None
+        ):
+            yield
+            return
+        self._commit_buffer = []
+        try:
+            yield
+        finally:
+            buffer, self._commit_buffer = self._commit_buffer, None
+            if buffer:
+                self.dyconits.commit_many(buffer)
+
+    def _flush_commits(self) -> None:
+        """Release buffered commits now, keeping the batching scope open.
+
+        Called at ordering boundaries inside a burst: before an interest
+        change, before a spawn/despawn commit, and (in the sharded
+        server) before anything that posts to the cluster bus or mutates
+        entity existence — buffered updates must be committed while the
+        world state they will be encoded against is still current.
+        """
+        buffer = self._commit_buffer
+        if buffer:
+            self._commit_buffer = []
+            self.dyconits.commit_many(buffer)
+
+    @staticmethod
+    def _bufferable(event: WorldEvent) -> bool:
+        """Events safe to hold until the end of the burst: they neither
+        change entity existence nor interest membership, so delayed
+        delivery encodes identical packets. Spawns/despawns are not."""
+        return isinstance(event, (EntityMoveEvent, BlockChangeEvent, ChatEvent))
+
     def _on_world_event(self, event: WorldEvent) -> None:
         # Stamp world time so event timestamps match simulation time.
         exclude = self._originating_client(event)
+        buffering = self._commit_buffer is not None
+        crossed = False
         if isinstance(event, EntityMoveEvent):
             old_chunk = event.old_position.to_chunk_pos()
             new_chunk = event.new_position.to_chunk_pos()
             if old_chunk != new_chunk:
+                crossed = True
+                # Interest changes (un)subscribe dyconits; buffered
+                # commits must land under the *old* subscriptions.
+                if buffering:
+                    self._flush_commits()
                 with self.telemetry.span("tick.interest"):
                     self.interest.on_entity_crossed(
                         event.entity_id, old_chunk, new_chunk
@@ -297,6 +370,14 @@ class GameServer:
 
         if self.direct_mode or self.dyconits is None:
             self._broadcast_direct(event, exclude)
+        elif buffering:
+            if self._bufferable(event):
+                self._commit_buffer.append(
+                    (self.dyconits.partitioner.dyconit_for_event(event), event, exclude)
+                )
+            else:
+                self._flush_commits()
+                self.dyconits.commit(event, exclude_subscriber=exclude)
         else:
             self.dyconits.commit(event, exclude_subscriber=exclude)
 
@@ -305,6 +386,14 @@ class GameServer:
             if client_id is not None:
                 session = self.sessions.get(client_id)
                 if session is not None:
+                    # A crossing refresh re-centers the view: it sends
+                    # packets and (un)subscribes dyconits, so the
+                    # buffered commit appended above must go out first
+                    # (legacy order is commit-then-refresh). A
+                    # non-crossing refresh is a no-op and keeps the
+                    # batch open.
+                    if buffering and crossed:
+                        self._flush_commits()
                     with self.telemetry.span("tick.interest"):
                         refreshed = self.interest.refresh(session)
                     if refreshed and self.dyconits is not None:
@@ -402,15 +491,16 @@ class GameServer:
 
         telemetry = self.telemetry
 
-        # 1. Inbound actions.
+        # 1. Inbound actions (commit-batched: the burst's bufferable
+        #    events go through commit_many at scope exit).
         inbound, self._inbound = self._inbound, []
-        with telemetry.span("tick.input"):
+        with telemetry.span("tick.input"), self._commit_batching():
             for client_id, action in inbound:
                 self._apply_action(client_id, action)
 
         # 2. Ambient mobs.
         if self._mob_ids and self.tick_count % self.config.mob_step_ticks == 0:
-            with telemetry.span("tick.simulate"):
+            with telemetry.span("tick.simulate"), self._commit_batching():
                 self._step_mobs()
 
         # 3. Middleware staleness flushes.

@@ -168,11 +168,28 @@ class TestDyconit:
         assert [state.subscriber.subscriber_id for state, __ in touched] == [2]
 
     def test_commit_tracks_hotness(self):
-        dyconit = Dyconit("unit")
+        dyconit = Dyconit("unit", default_bounds=Bounds(10.0, 1000.0))
+        dyconit.subscribe(make_subscriber(1))
         dyconit.commit(move(1, distance=2.0))
         dyconit.commit(block())
         assert dyconit.commit_count == 2
         assert dyconit.total_committed_weight == 3.0
+
+    def test_hotness_ignores_commits_nobody_received(self):
+        """A commit with no subscribers (or only the excluded originator)
+        changed nobody's inconsistency and must not look hot to the
+        policy — and both commit paths must agree on that."""
+        dyconit = Dyconit("unit")
+        dyconit.commit(move(1, distance=2.0))
+        assert dyconit.commit_count == 0
+        assert dyconit.total_committed_weight == 0.0
+        dyconit.subscribe(make_subscriber(1), Bounds(10.0, 1000.0))
+        dyconit.commit(move(1, distance=2.0), exclude_subscriber=1)
+        assert dyconit.commit_count == 0
+        assert dyconit.total_committed_weight == 0.0
+        dyconit.commit(block())
+        assert dyconit.commit_count == 1
+        assert dyconit.total_committed_weight == 1.0
 
     def test_set_bounds_requires_subscription(self):
         dyconit = Dyconit("unit")

@@ -58,6 +58,23 @@ def system(clock):
     )
 
 
+@pytest.fixture
+def legacy_system(clock):
+    """Per-object subscription states (S17 toggle off).
+
+    The I4 corruption tests reach into ``SubscriptionState`` fields;
+    through a columnar view those writes land on materialized copies, so
+    the sabotage must target the legacy store (the flat store has its own
+    corruption coverage under I9).
+    """
+    return DyconitSystem(
+        StaticPolicy(),
+        ChunkPartitioner(),
+        time_source=lambda: clock["now"],
+        use_batched_commit=False,
+    )
+
+
 def keys(violations: list[Violation]) -> set[str]:
     return {violation.invariant for violation in violations}
 
@@ -225,30 +242,30 @@ def _pending_state(system, rec):
     return system.get(CHUNK_A).get_state(rec.subscriber.subscriber_id)
 
 
-def test_i4_detects_unzeroed_empty_queue(system, auditor):
-    state = _pending_state(system, RecordingSubscriber())
+def test_i4_detects_unzeroed_empty_queue(legacy_system, auditor):
+    state = _pending_state(legacy_system, RecordingSubscriber())
     state.pending.clear()
-    assert "I4.queue-zeroed" in keys(auditor.check(system))
+    assert "I4.queue-zeroed" in keys(auditor.check(legacy_system))
 
 
-def test_i4_detects_time_disorder(system, auditor):
-    state = _pending_state(system, RecordingSubscriber())
+def test_i4_detects_time_disorder(legacy_system, auditor):
+    state = _pending_state(legacy_system, RecordingSubscriber())
     items = list(state.pending.items())
     state.pending.clear()
     state.pending.update(reversed(items))
-    assert "I4.queue-time-order" in keys(auditor.check(system))
+    assert "I4.queue-time-order" in keys(auditor.check(legacy_system))
 
 
-def test_i4_detects_oldest_newer_than_head(system, auditor):
-    state = _pending_state(system, RecordingSubscriber())
+def test_i4_detects_oldest_newer_than_head(legacy_system, auditor):
+    state = _pending_state(legacy_system, RecordingSubscriber())
     state.oldest_pending_time = 6.0  # head pends since 5.0
-    assert "I4.queue-oldest" in keys(auditor.check(system))
+    assert "I4.queue-oldest" in keys(auditor.check(legacy_system))
 
 
-def test_i4_detects_error_below_pending_weight(system, auditor):
-    state = _pending_state(system, RecordingSubscriber())
+def test_i4_detects_error_below_pending_weight(legacy_system, auditor):
+    state = _pending_state(legacy_system, RecordingSubscriber())
     state.accumulated_error = 0.5  # two pending moves weigh >= 2.0
-    assert "I4.queue-error-floor" in keys(auditor.check(system))
+    assert "I4.queue-error-floor" in keys(auditor.check(legacy_system))
 
 
 def test_i4_allows_error_above_pending_weight(system, auditor):

@@ -123,6 +123,11 @@ def test_alias_cycle_detected(system):
 
 
 def test_merge_accumulates_hotness(system):
+    # Hotness only counts commits somebody received (subscriber-less
+    # commits change nobody's inconsistency), so subscribe first.
+    rec = RecordingSubscriber()
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.subscribe(CHUNK_B, rec.subscriber)
     system.commit_to(CHUNK_A, move(1))
     system.commit_to(CHUNK_B, move(2))
     target = system.merge_dyconits([CHUNK_A, CHUNK_B], MERGED)

@@ -1,0 +1,490 @@
+"""S17 flat columnar commit path: differential + targeted unit tests.
+
+The batched pipeline's contract is *exact* equivalence with the legacy
+per-object path: same deliveries in the same order, same stats, and
+bit-equal float accounting. The randomized differential here drives
+identical op tapes (commits with exclusions, churny subscriptions, bound
+changes, repartitioning, ticks) through both stores and compares
+everything; the unit tests pin the individually tricky mechanisms (slot
+recycling, exclusion exactness, log trim/reset, the commit_many run
+cache) and the I9 auditor's ability to catch columnar corruption.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bounds import Bounds
+from repro.core.invariants import InvariantAuditor
+from repro.core.manager import DyconitSystem
+from repro.core.partition import ChunkPartitioner
+from repro.core.policy import Policy
+from repro.core.stats import DyconitStats
+from repro.world.events import EntityMoveEvent
+from repro.world.geometry import Vec3
+
+from tests.conftest import RecordingSubscriber
+
+
+class StaticPolicy(Policy):
+    def __init__(self, bounds=Bounds(10.0, 1000.0)):
+        self.bounds = bounds
+
+    def initial_bounds(self, system, dyconit_id, subscriber):
+        return self.bounds
+
+
+def move(entity_id=1, time=0.0, dx=1.0):
+    return EntityMoveEvent(time, entity_id, Vec3(0, 0, 0), Vec3(dx, 0, 0))
+
+
+CHUNK_A = ("chunk", 0, 0)
+CHUNK_B = ("chunk", 1, 0)
+CHUNKS = [CHUNK_A, CHUNK_B, ("chunk", 4, 0), ("chunk", 5, 0)]
+REGIONS = ((0, 0), (1, 0))
+
+BOUNDS_CHOICES = [
+    Bounds(5.0, 100.0),
+    Bounds(50.0, 1000.0),
+    Bounds(math.inf, 100.0),
+    Bounds(math.inf, math.inf),
+    Bounds(math.inf, math.inf, order=3),
+    Bounds(2.0, math.inf),
+    Bounds.ZERO,
+]
+
+#: Binary-inexact weights: bit-equality of the error columns only holds
+#: if both paths perform the same float additions in the same order.
+DX_CHOICES = [0.1, 0.3, 1.0, 2.5]
+
+
+def make_op_tape(seed: int, length: int = 400) -> list[tuple]:
+    """One reproducible op tape, valid against either store."""
+    rng = random.Random(seed)
+    subscribed: set[tuple] = set()
+    ops: list[tuple] = []
+    for _ in range(length):
+        roll = rng.random()
+        chunk = rng.choice(CHUNKS)
+        sid = rng.randint(1, 3)
+        if roll < 0.45:
+            exclude = rng.choice([None, None, sid])
+            ops.append(
+                ("commit", chunk, rng.randint(1, 5), rng.choice(DX_CHOICES), exclude)
+            )
+        elif roll < 0.55:
+            batch = [
+                (
+                    rng.choice(CHUNKS if rng.random() < 0.3 else [chunk]),
+                    rng.randint(1, 5),
+                    rng.choice(DX_CHOICES),
+                    rng.choice([None, sid]),
+                )
+                for _ in range(rng.randint(2, 8))
+            ]
+            ops.append(("commit_many", batch))
+        elif roll < 0.7:
+            bounds = rng.choice([None] + BOUNDS_CHOICES)
+            ops.append(("subscribe", chunk, sid, bounds))
+            subscribed.add((chunk, sid))
+        elif roll < 0.78:
+            if subscribed:
+                chunk, sid = rng.choice(sorted(subscribed, key=repr))
+                ops.append(("unsubscribe", chunk, sid))
+                subscribed.discard((chunk, sid))
+        elif roll < 0.86:
+            if subscribed:
+                chunk, sid = rng.choice(sorted(subscribed, key=repr))
+                ops.append(("set_bounds", chunk, sid, rng.choice(BOUNDS_CHOICES)))
+        elif roll < 0.92:
+            ops.append(("tick", rng.choice([30.0, 150.0, 700.0])))
+        elif roll < 0.96:
+            ops.append(("merge", rng.choice(REGIONS)))
+        else:
+            ops.append(("split", rng.choice(REGIONS)))
+    return ops
+
+
+def run_tape(ops: list[tuple], use_batched: bool):
+    clock = {"now": 0.0}
+    system = DyconitSystem(
+        StaticPolicy(Bounds(50.0, 1000.0)),
+        ChunkPartitioner(),
+        time_source=lambda: clock["now"],
+        use_batched_commit=use_batched,
+    )
+    recs = {sid: RecordingSubscriber(subscriber_id=sid) for sid in (1, 2, 3)}
+    for op in ops:
+        kind = op[0]
+        if kind == "commit":
+            __, chunk, entity, dx, exclude = op
+            system.commit_to(chunk, move(entity, clock["now"], dx), exclude)
+        elif kind == "commit_many":
+            batch = [
+                (chunk, move(entity, clock["now"], dx), exclude)
+                for chunk, entity, dx, exclude in op[1]
+            ]
+            system.commit_many(batch)
+        elif kind == "subscribe":
+            __, chunk, sid, bounds = op
+            system.subscribe(chunk, recs[sid].subscriber, bounds=bounds)
+        elif kind == "unsubscribe":
+            system.unsubscribe(op[1], op[2])
+        elif kind == "set_bounds":
+            try:
+                system.set_bounds(op[1], op[2], op[3])
+            except KeyError:
+                pass  # merged away mid-tape identically on both sides
+        elif kind == "tick":
+            clock["now"] += op[1]
+            system.tick()
+        elif kind == "merge":
+            region = op[1]
+            members = [c for c in CHUNKS if (c[1] // 4, c[2] // 4) == region]
+            system.merge_dyconits(members, ("region", 4, *region))
+        elif kind == "split":
+            system.split_dyconit(("region", 4, *op[1]))
+    return system, recs
+
+
+def final_states(system):
+    out = {}
+    for dyconit in sorted(system.dyconits(), key=lambda d: repr(d.dyconit_id)):
+        for state in dyconit.subscription_states():
+            out[(dyconit.dyconit_id, state.subscriber.subscriber_id)] = (
+                state.bounds,
+                list(state.pending.items()),
+                state.accumulated_error,
+                state.oldest_pending_time,
+                state.enqueued_count,
+                state.merged_count,
+            )
+        out[("hotness", dyconit.dyconit_id)] = (
+            dyconit.commit_count,
+            dyconit.total_committed_weight,
+        )
+    return out
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_differential_flat_vs_legacy(seed):
+    ops = make_op_tape(seed)
+    flat_system, flat_recs = run_tape(ops, use_batched=True)
+    legacy_system, legacy_recs = run_tape(ops, use_batched=False)
+    for sid in (1, 2, 3):
+        assert flat_recs[sid].deliveries == legacy_recs[sid].deliveries
+    assert flat_system.stats == legacy_system.stats
+    assert final_states(flat_system) == final_states(legacy_system)
+    auditor = InvariantAuditor()
+    assert auditor.check(flat_system) == []
+    assert auditor.check(legacy_system) == []
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_differential_with_merging_disabled(seed):
+    """E8(a) ablation path: nothing ever superseded, unique queue keys."""
+    ops = [op for op in make_op_tape(seed, length=200) if op[0] not in ("merge", "split")]
+
+    def run(use_batched):
+        clock = {"now": 0.0}
+        system = DyconitSystem(
+            StaticPolicy(Bounds(50.0, 1000.0)),
+            ChunkPartitioner(),
+            time_source=lambda: clock["now"],
+            use_batched_commit=use_batched,
+            merging_enabled=False,
+        )
+        recs = {sid: RecordingSubscriber(subscriber_id=sid) for sid in (1, 2, 3)}
+        for op in ops:
+            if op[0] == "commit":
+                __, chunk, entity, dx, exclude = op
+                system.commit_to(chunk, move(entity, clock["now"], dx), exclude)
+            elif op[0] == "commit_many":
+                system.commit_many(
+                    [
+                        (chunk, move(entity, clock["now"], dx), exclude)
+                        for chunk, entity, dx, exclude in op[1]
+                    ]
+                )
+            elif op[0] == "subscribe":
+                system.subscribe(op[1], recs[op[2]].subscriber, bounds=op[3])
+            elif op[0] == "unsubscribe":
+                system.unsubscribe(op[1], op[2])
+            elif op[0] == "set_bounds":
+                try:
+                    system.set_bounds(op[1], op[2], op[3])
+                except KeyError:
+                    pass
+            elif op[0] == "tick":
+                clock["now"] += op[1]
+                system.tick()
+        return system, recs
+
+    flat_system, flat_recs = run(True)
+    legacy_system, legacy_recs = run(False)
+    for sid in (1, 2, 3):
+        assert flat_recs[sid].deliveries == legacy_recs[sid].deliveries
+    assert flat_system.stats == legacy_system.stats
+    assert final_states(flat_system) == final_states(legacy_system)
+
+
+# ----------------------------------------------------------------------
+# Targeted mechanisms
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def clock():
+    return {"now": 0.0}
+
+
+@pytest.fixture
+def system(clock):
+    return DyconitSystem(
+        StaticPolicy(Bounds(50.0, 1000.0)),
+        ChunkPartitioner(),
+        time_source=lambda: clock["now"],
+    )
+
+
+def _flat(system, chunk):
+    return system.get(system.resolve(chunk))._flat
+
+
+def test_exclusion_keeps_error_bit_exact(system):
+    """The excluded slot's accumulator is saved/restored, never
+    add-then-subtract (which changes the value for inexact weights)."""
+    rec1, rec2 = RecordingSubscriber(1), RecordingSubscriber(2)
+    system.subscribe(CHUNK_A, rec1.subscriber, bounds=Bounds(math.inf, math.inf))
+    system.subscribe(CHUNK_A, rec2.subscriber, bounds=Bounds(math.inf, math.inf))
+    expected = 0.0
+    for i in range(7):
+        system.commit_to(CHUNK_A, move(1, 0.0, 0.1), exclude_subscriber=2)
+        expected += move(1, 0.0, 0.1).weight
+    system.commit_to(CHUNK_A, move(1, 0.0, 0.3), exclude_subscriber=1)
+    state1 = system.get(CHUNK_A).get_state(1)
+    state2 = system.get(CHUNK_A).get_state(2)
+    assert state1.accumulated_error == expected  # bit-equal, not approx
+    assert state2.accumulated_error == move(1, 0.0, 0.3).weight
+
+
+def test_slot_recycling_preserves_iteration_order(system):
+    """Unsubscribe compacts in place; a re-subscribe lands at the end —
+    the same order a dict delete + re-add produces on the legacy path."""
+    recs = [RecordingSubscriber(sid) for sid in (1, 2, 3)]
+    for rec in recs:
+        system.subscribe(CHUNK_A, rec.subscriber)
+    system.unsubscribe(CHUNK_A, 2)
+    system.subscribe(CHUNK_A, recs[1].subscriber)
+    order = [
+        s.subscriber.subscriber_id
+        for s in system.get(CHUNK_A).subscription_states()
+    ]
+    assert order == [1, 3, 2]
+
+
+def test_zero_bounds_flush_immediately(system):
+    rec = RecordingSubscriber(1)
+    system.subscribe(CHUNK_A, rec.subscriber, bounds=Bounds.ZERO)
+    system.commit_to(CHUNK_A, move(1, 0.0, 2.0))
+    assert len(rec.delivered_updates) == 1
+
+
+def test_log_resets_when_all_queues_empty(system):
+    rec = RecordingSubscriber(1)
+    system.subscribe(CHUNK_A, rec.subscriber, bounds=Bounds(math.inf, math.inf))
+    for i in range(5):
+        system.commit_to(CHUNK_A, move(i + 1, 0.0, 1.0))
+    flat = _flat(system, CHUNK_A)
+    assert len(flat.log) == 5
+    system.flush_all()
+    assert flat.log == [] and flat.base == 5
+    assert flat.last_key == {} and flat.excl_by_sub == {}
+    # The store keeps working after a reset (cursors were rebased).
+    system.commit_to(CHUNK_A, move(1, 0.0, 1.0))
+    assert system.get(CHUNK_A).get_state(1).has_pending
+    assert InvariantAuditor().check(system) == []
+
+
+def test_log_trim_rebases_off_min_cursor(system, clock):
+    """One subscriber drains often, one hoards: once over half the log is
+    behind every cursor, it is sliced and `base` advances."""
+    hoarder = RecordingSubscriber(1)
+    drainer = RecordingSubscriber(2)
+    system.subscribe(CHUNK_A, hoarder.subscriber, bounds=Bounds(math.inf, math.inf))
+    system.subscribe(CHUNK_A, drainer.subscriber, bounds=Bounds(math.inf, math.inf))
+    flat = _flat(system, CHUNK_A)
+    for i in range(5000):
+        system.commit_to(CHUNK_A, move(i % 7 + 1, float(i), 1.0))
+        if i == 2500:
+            # Both drain: every entry so far goes dead, so the next
+            # compaction check slices the log down.
+            system.flush_all()
+    assert flat.base >= 2501
+    assert len(flat.log) < 5000 - 2000
+    assert InvariantAuditor().check(system) == []
+    system.flush_all()
+    assert hoarder.delivered_updates and drainer.delivered_updates
+    assert flat.log == []
+
+
+def test_commit_many_equals_commit_to_loop(clock):
+    def run(batched_call):
+        system = DyconitSystem(
+            StaticPolicy(Bounds(5.0, 500.0)),
+            ChunkPartitioner(),
+            time_source=lambda: clock["now"],
+        )
+        recs = {sid: RecordingSubscriber(sid) for sid in (1, 2)}
+        system.subscribe(CHUNK_A, recs[1].subscriber)
+        system.subscribe(CHUNK_B, recs[2].subscriber)
+        batch = [
+            (CHUNK_A, move(1, 0.0, 2.0), None),
+            (CHUNK_A, move(2, 0.0, 2.0), 1),
+            (CHUNK_B, move(3, 0.0, 2.0), None),
+            (CHUNK_A, move(1, 0.0, 2.0), None),
+        ]
+        if batched_call:
+            system.commit_many(batch)
+        else:
+            for dyconit_id, update, exclude in batch:
+                system.commit_to(dyconit_id, update, exclude)
+        return system, recs
+
+    batched_system, batched_recs = run(True)
+    loop_system, loop_recs = run(False)
+    for sid in (1, 2):
+        assert batched_recs[sid].deliveries == loop_recs[sid].deliveries
+    assert batched_system.stats == loop_system.stats
+
+
+def test_commit_many_survives_mid_batch_repartition(clock):
+    """A delivery handler that merges dyconits mid-batch invalidates the
+    run's cached resolution; the epoch check forces a re-resolve."""
+    system = DyconitSystem(
+        StaticPolicy(Bounds.ZERO),  # every commit flushes immediately
+        ChunkPartitioner(),
+        time_source=lambda: clock["now"],
+    )
+    target = ("region", 4, 0, 0)
+    merged = []
+
+    def deliver(dyconit_id, updates):
+        if not merged:
+            merged.append(True)
+            system.merge_dyconits([CHUNK_A, CHUNK_B], target)
+
+    from repro.core.subscription import Subscriber
+
+    system.subscribe(CHUNK_A, Subscriber(subscriber_id=1, deliver=deliver))
+    batch = [(CHUNK_A, move(i + 1, 0.0, 1.0), None) for i in range(4)]
+    system.commit_many(batch)
+    # All four commits landed (three of them on the merge target via the
+    # re-resolved run) and the store is still coherent.
+    assert system.resolve(CHUNK_A) == target
+    assert system.get(target).commit_count == 4
+    assert InvariantAuditor().check(system) == []
+
+
+# ----------------------------------------------------------------------
+# I9 catches columnar corruption
+# ----------------------------------------------------------------------
+
+
+def _keys(violations):
+    return {violation.invariant for violation in violations}
+
+
+@pytest.fixture
+def corrupt_ready(system):
+    rec1, rec2 = RecordingSubscriber(1), RecordingSubscriber(2)
+    system.subscribe(CHUNK_A, rec1.subscriber, bounds=Bounds(50.0, 1000.0))
+    system.subscribe(CHUNK_A, rec2.subscriber, bounds=Bounds(50.0, 1000.0))
+    system.commit_to(CHUNK_A, move(1, 0.0, 1.0))
+    system.commit_to(CHUNK_A, move(2, 0.0, 1.0), exclude_subscriber=2)
+    assert InvariantAuditor().check(system) == []
+    return system, _flat(system, CHUNK_A)
+
+
+def test_i9_detects_error_column_drift(corrupt_ready):
+    system, flat = corrupt_ready
+    flat.err[0] += 0.5
+    assert "I9.replay" in _keys(InvariantAuditor().check(system))
+
+
+def test_i9_detects_count_column_drift(corrupt_ready):
+    system, flat = corrupt_ready
+    flat.count[1] += 1
+    assert "I9.replay" in _keys(InvariantAuditor().check(system))
+
+
+def test_i9_detects_late_staleness_gate(corrupt_ready):
+    system, flat = corrupt_ready
+    flat.min_deadline += 10_000.0  # the gate would now fire late
+    assert "I9.gates" in _keys(InvariantAuditor().check(system))
+
+
+def test_i9_detects_empty_set_desync(corrupt_ready):
+    system, flat = corrupt_ready
+    flat.empty_subs.add(1)  # slot 0 has pending updates
+    assert "I9.empty-set" in _keys(InvariantAuditor().check(system))
+
+
+def test_i9_detects_exclusion_index_tamper(corrupt_ready):
+    system, flat = corrupt_ready
+    flat.excl_by_sub.pop(2)
+    assert "I9.log-chain" in _keys(InvariantAuditor().check(system))
+
+
+def test_i9_detects_slot_table_tamper(corrupt_ready):
+    system, flat = corrupt_ready
+    flat.slots[1], flat.slots[2] = flat.slots[2], flat.slots[1]
+    assert "I9.slot-mirror" in _keys(InvariantAuditor().check(system))
+
+
+def test_i9_commit_buffer_must_drain_at_barrier(sim, server_factory):
+    from repro.policies.fixed import FixedBoundsPolicy
+
+    server = server_factory(policy=FixedBoundsPolicy(Bounds(50.0, 1000.0)))
+    server.connect("alice", handler=lambda delivered: None)
+    sim.run_until(200.0)
+    auditor = InvariantAuditor()
+    assert auditor.check_server(server) == []
+    server._commit_buffer = [(CHUNK_A, move(1, 0.0, 1.0), None)]
+    assert "I9.commit-buffer" in _keys(auditor.check_server(server))
+    server._commit_buffer = None
+
+
+# ----------------------------------------------------------------------
+# Hotness stats fix regression (manager level)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("use_batched", [True, False])
+def test_hotness_counts_only_received_commits(clock, use_batched):
+    system = DyconitSystem(
+        StaticPolicy(Bounds(math.inf, math.inf)),
+        ChunkPartitioner(),
+        time_source=lambda: clock["now"],
+        use_batched_commit=use_batched,
+    )
+    system.commit_to(CHUNK_A, move(1, 0.0, 2.0))  # nobody subscribed
+    assert system.get(CHUNK_A).commit_count == 0
+    rec = RecordingSubscriber(7)
+    system.subscribe(CHUNK_A, rec.subscriber)
+    system.commit_to(CHUNK_A, move(1, 0.0, 2.0), exclude_subscriber=7)
+    assert system.get(CHUNK_A).commit_count == 0  # only the originator
+    system.commit_to(CHUNK_A, move(1, 0.0, 2.0))
+    assert system.get(CHUNK_A).commit_count == 1
+    assert system.get(CHUNK_A).total_committed_weight == move(1, 0.0, 2.0).weight
+    # stats.commits still counts every attempt — it measures load, not heat.
+    assert system.stats.commits == 3
+
+
+def test_stats_dataclass_unchanged_fields():
+    # commit_many must feed the same counters commit_to does; pin the
+    # field list so a drive-by rename cannot silently decouple them.
+    assert set(DyconitStats.__dataclass_fields__) >= {
+        "commits", "updates_enqueued", "updates_merged", "bound_checks", "flushes",
+    }

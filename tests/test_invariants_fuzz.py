@@ -91,6 +91,11 @@ bounds_strategy = st.sampled_from(
 class DyconitMachine(RuleBasedStateMachine):
     """Random middleware op interleavings vs auditor + reference model."""
 
+    #: S17 toggle — the default machine fuzzes the flat columnar commit
+    #: path (including the I9 replay audit after every step); the legacy
+    #: twin below pins the per-object ground truth with the same rules.
+    USE_BATCHED_COMMIT = True
+
     def __init__(self):
         super().__init__()
         self.now = 0.0
@@ -99,6 +104,7 @@ class DyconitMachine(RuleBasedStateMachine):
             StaticPolicy(Bounds(50.0, 1000.0)),
             ChunkPartitioner(),
             time_source=lambda: self.now,
+            use_batched_commit=self.USE_BATCHED_COMMIT,
         )
         self.subscribers: dict[int, Subscriber] = {}
         #: Reference model: (dyconit_id, subscriber_id) -> merge_key ->
@@ -409,9 +415,20 @@ class ClusterMachine(RuleBasedStateMachine):
 
 #: CI smoke: 30 examples x up to 30 steps (and 15 x 25) comfortably
 #: clears the >= 200 stateful steps the roadmap asks of checked mode.
+class LegacyDyconitMachine(DyconitMachine):
+    """Same rules against the per-object commit path (S17 toggle off)."""
+
+    USE_BATCHED_COMMIT = False
+
+
 TestDyconitFuzz = DyconitMachine.TestCase
 TestDyconitFuzz.settings = settings(
     max_examples=30, stateful_step_count=30, deadline=None
+)
+
+TestLegacyDyconitFuzz = LegacyDyconitMachine.TestCase
+TestLegacyDyconitFuzz.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
 )
 
 TestElasticRates = ElasticRateMachine.TestCase

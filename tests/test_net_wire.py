@@ -184,3 +184,28 @@ def test_multi_block_change_roundtrip_property(records):
     assert len(encoded) == packet.wire_size()
     decoded, __ = wire.decode(encoded)
     assert decoded == packet
+
+
+@given(
+    st.integers(min_value=1, max_value=2**20),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+def test_teleport_roundtrip_property(entity_id, x, y, z):
+    """Exercises the precompiled >ddd layout across the float range —
+    doubles must survive encode/decode bit-for-bit."""
+    packet = EntityTeleportPacket(
+        entity_id=entity_id, position=Vec3(x, y, z), yaw=0.0, pitch=0.0
+    )
+    decoded, consumed = wire.decode(wire.encode(packet))
+    assert consumed == len(wire.encode(packet))
+    assert decoded.entity_id == entity_id
+    assert (decoded.position.x, decoded.position.y, decoded.position.z) == (x, y, z)
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_keepalive_roundtrip_property(nonce):
+    """Exercises the precompiled >q layout over the full int64 range."""
+    decoded, __ = wire.decode(wire.encode(KeepAlivePacket(nonce=nonce)))
+    assert decoded.nonce == nonce
