@@ -4,6 +4,7 @@
 Usage: [PYTHONPATH=src] python scripts/bench_trajectory.py [--quick]
            [--out PATH] [--bots N [N ...]] [--faults]
            [--sweep] [--jobs N] [--sweep-out PATH] [--guard-commit]
+           [--guard-parallel]
 
 Runs the :mod:`repro.experiments.wallclock` suite (direct-mode broadcast
 scan vs indexed, entity-crossing handler scan vs indexed, interest
@@ -26,6 +27,14 @@ S17 batched commit pipeline: on the commit benches (``dyconit_commit``,
 starved runner (single CPU) the guard records an honest skip with the
 reason in the payload instead of asserting — time-sliced noise there
 fails good code more often than it catches regressions.
+
+``--guard-parallel`` gates the S18 shard-parallel tick runtime. The
+determinism half always runs: a 2-shard workload under the serial
+:class:`ShardedCluster` and the process-parallel
+:class:`ParallelShardRunner` must produce byte-identical packet streams,
+on any machine — determinism is not noise-sensitive. The wall-clock half
+(parallel speedup over serial) records an honest skip with the CPU count
+and reason on single-core hosts, same precedent as ``--guard-commit``.
 
 ``--sweep`` additionally benchmarks the parallel sweep executor
 (cold serial vs cold ``--jobs N`` vs warm-cache rerun over a small
@@ -144,6 +153,96 @@ def commit_guard(payload: dict) -> dict:
     return {"status": status, "cpu_count": cpu_count, "checks": checks}
 
 
+def parallel_guard(quick: bool, jobs: int) -> dict:
+    """Gate the S18 parallel shard runtime (see module docstring).
+
+    Determinism always; speedup only where a wall-clock comparison means
+    something (>= 2 CPUs and enough of them to host ``jobs`` workers).
+    """
+    import hashlib
+    import os
+    import time
+
+    from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+    from repro.cluster import ParallelShardRunner, ShardedCluster
+    from repro.policies.zero import ZeroBoundsPolicy
+    from repro.server.config import ServerConfig
+    from repro.sim.simulator import Simulation
+
+    shards = max(2, jobs)
+    duration_ms = 3_000.0 if quick else 10_000.0
+
+    def run(parallel: bool) -> tuple[str, float]:
+        sim = Simulation()
+        config = ServerConfig(seed=1234, synchronous_delivery=True, mob_count=3)
+        cluster_cls = ParallelShardRunner if parallel else ShardedCluster
+        cluster = cluster_cls(
+            sim, shards=shards, strip_width=4, config=config,
+            policy_factory=ZeroBoundsPolicy,
+        )
+        cluster.start()
+        # Digest per-client streams (sorted by client): that is what a
+        # client observes. Cross-client interleaving inside one sim
+        # timestamp is unobservable and legitimately differs — the
+        # parallel barrier replays merged per-shard batches in shard
+        # order while serial delivers inline mid-tick.
+        captures: dict[str, list] = {}
+        original_connect = cluster.connect
+
+        def tapping_connect(name, handler, **kwargs):
+            log = captures.setdefault(name, [])
+
+            def tapped(delivered):
+                log.append(repr(delivered.packet))
+                handler(delivered)
+
+            return original_connect(name, tapped, **kwargs)
+
+        cluster.connect = tapping_connect
+        workload = Workload(sim, cluster, WorkloadSpec(
+            bots=8, seed=1234, movement="gathering",
+            behavior=BehaviorMix(build=0.1, dig=0.05, chat=0.01),
+            arrival_stagger_ms=40.0,
+        ))
+        workload.start()
+        started = time.perf_counter()
+        sim.run_until(duration_ms)
+        if parallel:
+            cluster.finalize()
+        elapsed = time.perf_counter() - started
+        digest = hashlib.sha256()
+        for name in sorted(captures):
+            digest.update(name.encode())
+            for packet in captures[name]:
+                digest.update(packet.encode())
+        return digest.hexdigest(), elapsed
+
+    serial_digest, serial_s = run(parallel=False)
+    parallel_digest, parallel_s = run(parallel=True)
+    result = {
+        "shards": shards,
+        "duration_ms": duration_ms,
+        "serial_digest": serial_digest,
+        "parallel_digest": parallel_digest,
+        "identical": serial_digest == parallel_digest,
+    }
+    cpu_count = os.cpu_count() or 1
+    result["cpu_count"] = cpu_count
+    if cpu_count < 2:
+        result["speedup"] = None
+        result["speedup_suppressed"] = (
+            f"cpu_count={cpu_count}: single-CPU host; worker processes "
+            "time-slice one core, so wall-clock speedup measures "
+            "scheduler overhead, not parallelism"
+        )
+    else:
+        result["serial_wall_s"] = serial_s
+        result["parallel_wall_s"] = parallel_s
+        result["speedup"] = serial_s / parallel_s if parallel_s else None
+    result["status"] = "passed" if result["identical"] else "failed"
+    return result
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -164,6 +263,10 @@ def main() -> None:
     parser.add_argument("--guard-commit", action="store_true",
                         help="fail if the batched commit pipeline is "
                         "slower than legacy (honest skip on 1-CPU hosts)")
+    parser.add_argument("--guard-parallel", action="store_true",
+                        help="fail if a parallel shard run diverges from "
+                        "serial bytes; records speedup (honest skip of "
+                        "the timing half on 1-CPU hosts)")
     args = parser.parse_args()
 
     scale = dict(events=200, crossings=100, refreshes=40, commits=2_000) if args.quick \
@@ -190,6 +293,11 @@ def main() -> None:
         guard = commit_guard(payload)
         payload["commit_guard"] = guard
 
+    par_guard = None
+    if args.guard_parallel:
+        par_guard = parallel_guard(quick=args.quick, jobs=args.jobs)
+        payload["parallel_guard"] = par_guard
+
     print(render(payload))
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out}")
@@ -208,6 +316,29 @@ def main() -> None:
             print(f"commit guard: {guard['status'].upper()}")
             if guard["status"] == "failed":
                 sys.exit(1)
+
+    if par_guard is not None:
+        verdict = "identical" if par_guard["identical"] else "DIVERGED"
+        print(
+            f"parallel guard: {par_guard['shards']}-shard "
+            f"{par_guard['duration_ms']:.0f}ms run serial vs parallel "
+            f"bytes [{verdict}]"
+        )
+        if par_guard["speedup"] is None:
+            print(
+                "parallel guard: speedup SKIPPED "
+                f"({par_guard['speedup_suppressed']})"
+            )
+        else:
+            print(
+                f"parallel guard: speedup {par_guard['speedup']:.2f}x "
+                f"(serial {par_guard['serial_wall_s']:.2f}s, parallel "
+                f"{par_guard['parallel_wall_s']:.2f}s, "
+                f"{par_guard['cpu_count']} CPUs)"
+            )
+        print(f"parallel guard: {par_guard['status'].upper()}")
+        if par_guard["status"] == "failed":
+            sys.exit(1)
 
     if args.sweep:
         from repro.experiments.parallel import default_bench_cells, sweep_benchmark

@@ -3,12 +3,15 @@
 
 Usage: [PYTHONPATH=src] python scripts/determinism_check.py [--jobs N]
 
-Runs a six-cell sweep — four E1+E9-shaped single-server cells, a
-2-shard cluster cell (S16), and a legacy-commit-path cell (S17 toggle
-off; the default cells all run the batched columnar path) — and prints,
-one per line, each cell's cache
+Runs a seven-cell sweep — four E1+E9-shaped single-server cells, a
+2-shard cluster cell (S16), its shard-parallel twin (S18; worker
+processes must reproduce the serial cell's result byte-for-byte), and a
+legacy-commit-path cell (S17 toggle off; the default cells all run the
+batched columnar path) — and prints, one per line, each cell's cache
 key (the content-addressed config digest) followed by the sha256 of the
-merged result store. CI runs this twice under different
+merged result store. The S18 twin is additionally diffed against the
+serial cell in-process: its traffic totals and handoff counts must be
+identical, or the script exits non-zero. CI runs this twice under different
 ``PYTHONHASHSEED`` values and diffs the output: any dependence on dict
 iteration order, set ordering, or ``hash()`` in the config
 normalization, the simulation (including the inter-shard bus pump and
@@ -57,6 +60,9 @@ def main() -> None:
             shards=2,
         )
     )
+    # The same cluster cell under the S18 parallel tick runtime: worker
+    # processes meeting at the bus barrier must land on the serial bytes.
+    cells.append(cells[-1].with_(name="det-cluster-2shard-par", parallel_ticks=True))
     # The legacy per-object commit path (S17 toggle off) must stay as
     # deterministic as the batched default the other cells exercise.
     cells.append(
@@ -84,6 +90,28 @@ def main() -> None:
         )
         report.raise_on_failure()
         store_sha = hashlib.sha256(store_path.read_bytes()).hexdigest()
+
+        # S18 differential: the parallel twin must reproduce the serial
+        # cluster cell's observable result exactly.
+        serial = report.results["det-cluster-2shard"]
+        par = report.results["det-cluster-2shard-par"]
+        mismatches = [
+            field
+            for field in (
+                "bytes_total", "packets_total", "handoffs",
+                "entity_transfers", "intershard_bytes", "intershard_messages",
+            )
+            if getattr(serial, field) != getattr(par, field)
+        ]
+        if mismatches:
+            for field in mismatches:
+                print(
+                    f"serial/parallel mismatch on {field}: "
+                    f"{getattr(serial, field)} != {getattr(par, field)}",
+                    file=sys.stderr,
+                )
+            sys.exit(1)
+        print("serial/parallel cluster cells identical")
     print(f"store {store_sha}")
 
 

@@ -21,11 +21,13 @@ cluster is packet-for-packet identical to it.
 from repro.cluster.bus import InterShardBus
 from repro.cluster.facade import ClusterWorldView, ShardedCluster
 from repro.cluster.router import ShardRouter
+from repro.cluster.runner import ParallelShardRunner
 from repro.cluster.shard import ShardServer
 
 __all__ = [
     "InterShardBus",
     "ClusterWorldView",
+    "ParallelShardRunner",
     "ShardedCluster",
     "ShardRouter",
     "ShardServer",

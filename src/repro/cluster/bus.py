@@ -32,6 +32,35 @@ MAX_PUMP_ROUNDS = 32
 MessageHandler = Callable[[int, ShardMessage], None]
 
 
+class BusPumpDivergenceError(RuntimeError):
+    """The pump hit :data:`MAX_PUMP_ROUNDS` with messages still queued.
+
+    A bare round-cap RuntimeError used to abort the run mid-tick with no
+    way to tell *which* edges were cycling; this carries a snapshot of
+    every non-empty edge — queue depth, the seq range still queued, and
+    the pending message kinds — so the cycle is diagnosable post-mortem.
+    """
+
+    def __init__(self, rounds: int, edges: dict[tuple[int, int], dict]) -> None:
+        self.rounds = rounds
+        #: edge -> {"depth", "first_seq", "last_seq", "kinds"}.
+        self.edges = edges
+        pending = sum(info["depth"] for info in edges.values())
+        lines = [
+            f"bus pump did not converge after {rounds} rounds "
+            f"({pending} messages still pending on {len(edges)} edge(s)):"
+        ]
+        for edge, info in sorted(edges.items()):
+            kinds = ", ".join(
+                f"{kind}x{count}" for kind, count in sorted(info["kinds"].items())
+            )
+            lines.append(
+                f"  edge {edge[0]}->{edge[1]}: depth={info['depth']} "
+                f"seqs=[{info['first_seq']}..{info['last_seq']}] kinds={kinds}"
+            )
+        super().__init__("\n".join(lines))
+
+
 class InterShardBus:
     """Per-edge FIFO queues drained in deterministic order."""
 
@@ -44,6 +73,9 @@ class InterShardBus:
         self.total_messages = 0
         self.bytes_by_edge: dict[tuple[int, int], int] = {}
         self.messages_by_kind: dict[str, int] = {}
+        #: Rounds the most recent :meth:`pump` took (telemetry gauge
+        #: ``bus_pump_rounds`` is set from this at each barrier).
+        self.last_pump_rounds = 0
 
     def attach(self, shard_id: int, handler: MessageHandler) -> None:
         if shard_id in self._handlers:
@@ -86,6 +118,57 @@ class InterShardBus:
     # Draining
     # ------------------------------------------------------------------
 
+    def take_round(self) -> list[tuple[tuple[int, int], list[ShardMessage]]]:
+        """Remove and return one round's worth of messages.
+
+        Snapshots every non-empty edge in sorted ``(src, dst)`` order,
+        pops exactly the snapshotted prefixes off the live queues (so
+        messages posted while the round is being *processed* wait for
+        the next round), and verifies the per-edge seq chain. Delivery
+        itself is the caller's job: :meth:`pump` feeds the batches to
+        the attached handlers in place, and the parallel shard runner
+        ships the same batches to worker processes — both see the exact
+        round structure the serial pump defines.
+        """
+        batches = [
+            (edge, list(queue))
+            for edge, queue in sorted(self._queues.items())
+            if queue
+        ]
+        round_out: list[tuple[tuple[int, int], list[ShardMessage]]] = []
+        for edge, batch in batches:
+            del self._queues[edge][: len(batch)]
+            expected = self._delivered_seq.get(edge, 0)
+            messages: list[ShardMessage] = []
+            for seq, message in batch:
+                if seq != expected:
+                    raise RuntimeError(
+                        f"bus FIFO violated on edge {edge}: "
+                        f"delivering seq {seq}, expected {expected}"
+                    )
+                expected = seq + 1
+                messages.append(message)
+            self._delivered_seq[edge] = expected
+            round_out.append((edge, messages))
+        return round_out
+
+    def _divergence_snapshot(self) -> dict[tuple[int, int], dict]:
+        edges: dict[tuple[int, int], dict] = {}
+        for edge, queue in sorted(self._queues.items()):
+            if not queue:
+                continue
+            kinds: dict[str, int] = {}
+            for __, message in queue:
+                kind = type(message).__name__
+                kinds[kind] = kinds.get(kind, 0) + 1
+            edges[edge] = {
+                "depth": len(queue),
+                "first_seq": queue[0][0],
+                "last_seq": queue[-1][0],
+                "kinds": kinds,
+            }
+        return edges
+
     def pump(self) -> int:
         """Drain every edge until the bus is empty; returns messages
         delivered. Runs in rounds: each round snapshots the queues and
@@ -93,31 +176,15 @@ class InterShardBus:
         a round are deferred to the next round and total order stays a
         pure function of the posting history."""
         delivered_total = 0
-        for _round in range(MAX_PUMP_ROUNDS):
-            batches = [
-                (edge, list(queue))
-                for edge, queue in sorted(self._queues.items())
-                if queue
-            ]
-            if not batches:
+        for round_index in range(MAX_PUMP_ROUNDS):
+            round_batches = self.take_round()
+            if not round_batches:
+                self.last_pump_rounds = round_index
                 return delivered_total
-            for edge, batch in batches:
-                # Pop exactly the snapshotted prefix off the live queue;
-                # anything appended mid-round stays for the next round.
-                del self._queues[edge][: len(batch)]
+            for edge, messages in round_batches:
                 handler = self._handlers[edge[1]]
-                expected = self._delivered_seq.get(edge, 0)
-                for seq, message in batch:
-                    if seq != expected:
-                        raise RuntimeError(
-                            f"bus FIFO violated on edge {edge}: "
-                            f"delivering seq {seq}, expected {expected}"
-                        )
-                    expected = seq + 1
-                    self._delivered_seq[edge] = expected
+                for message in messages:
                     handler(edge[0], message)
                     delivered_total += 1
-        raise RuntimeError(
-            f"bus pump did not converge after {MAX_PUMP_ROUNDS} rounds "
-            f"({self.pending_messages} messages still pending)"
-        )
+        self.last_pump_rounds = MAX_PUMP_ROUNDS
+        raise BusPumpDivergenceError(MAX_PUMP_ROUNDS, self._divergence_snapshot())

@@ -210,6 +210,7 @@ class ShardedCluster:
             if delivered:
                 telemetry.counter("cluster_bus_messages_total").increment(delivered)
             telemetry.gauge("cluster_bus_bytes").set(self.bus.total_bytes)
+            telemetry.gauge("bus_pump_rounds").set(self.bus.last_pump_rounds)
             telemetry.gauge("cluster_handoffs").set(self.handoffs)
             for shard in self.shards:
                 label = str(shard.shard_id)

@@ -1,0 +1,1080 @@
+"""S18: the shard-parallel tick runtime.
+
+:class:`ParallelShardRunner` presents the exact :class:`ShardedCluster`
+facade, but each shard lives in a persistent **worker process** and runs
+its simulate+commit tick phase there, inside one wall-clock tick. The
+parent simulation keeps the event clock, the bots, and the bus; workers
+keep the worlds, the dyconit systems, and the transports. The two halves
+meet at the same post-tick pump barrier the serial cluster already has.
+
+Determinism argument (why parallel N-shard ≡ serial N-shard, byte for
+byte):
+
+* Shard ticks scheduled at the same instant are mutually independent in
+  the serial cluster: bus messages are deferred to the pump, and packet
+  delivery (synchronous mode) only reaches bot handlers, which never
+  read server state or schedule events. So running them concurrently
+  and merging outputs **in fixed shard-id order** replays the exact
+  serial insertion sequence.
+* All cross-shard traffic still flows through the parent's
+  :class:`InterShardBus`: workers *record* their posts, the parent
+  re-posts them, and per-edge FIFO order is preserved because an edge's
+  source is the only shard that ever posts on it.
+* Every worker owns a private RNG universe derived from the same seed
+  the serial shard would use, a private simulation clock advanced to
+  the parent's event time before each command, and a **fresh telemetry
+  hub** (a forked worker inheriting the parent's hub would double-count
+  every counter; hubs are folded into the parent at :meth:`finalize`).
+
+Per-tick inputs (buffered player actions, bus message batches from
+:meth:`InterShardBus.take_round`) and outputs (flushed packet batches,
+recorded posts, world deltas) cross the pipe as plain picklable data;
+packets whose codec round-trips exactly travel as ``repro.net.wire``
+bytes.
+
+A worker failure surfaces as a parent-side exception carrying the
+worker's traceback; invariant violations re-raise as
+:class:`InvariantViolationError` with the shard prefix the serial
+auditor would have used.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+
+from repro.cluster.bus import MAX_PUMP_ROUNDS, BusPumpDivergenceError, InterShardBus
+from repro.cluster.facade import ClientProfile, ClusterWorldView, ShardedCluster
+from repro.cluster.messages import SessionHandoff
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import ShardServer, peer_subscriber_id
+from repro.core.bounds import Bounds
+from repro.core.invariants import (
+    InvariantAuditor,
+    InvariantViolationError,
+    Violation,
+)
+from repro.net import wire
+from repro.net.protocol import (
+    BlockChangePacket,
+    ChunkUnloadPacket,
+    DestroyEntitiesPacket,
+    KeepAlivePacket,
+    MultiBlockChangePacket,
+)
+from repro.net.transport import DeliveredPacket
+from repro.server import engine as engine_module
+from repro.server.config import ServerConfig
+from repro.sim.simulator import Simulation
+from repro.telemetry.hub import NULL_TELEMETRY, Telemetry, set_telemetry
+from repro.world.block import BlockType
+from repro.world.entity import Entity, EntityKind
+from repro.world.events import BlockChangeEvent
+from repro.world.geometry import BlockPos, Vec3
+from repro.world.world import World
+
+#: Packet types whose wire codec round-trips losslessly; these ship as
+#: encoded bytes. Everything else (quantized positions/angles, filler
+#: payloads) ships as the packet object so replayed streams stay
+#: byte-identical to the serial run.
+_WIRE_EXACT = frozenset(
+    {
+        BlockChangePacket,
+        MultiBlockChangePacket,
+        ChunkUnloadPacket,
+        DestroyEntitiesPacket,
+        KeepAlivePacket,
+    }
+)
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a worker needs to rebuild its shard from scratch.
+
+    Must stay picklable under the ``spawn`` start method: factories must
+    be module-level callables or bound methods of picklable objects.
+    """
+
+    shard_id: int
+    num_shards: int
+    strip_width: int
+    config: ServerConfig
+    policy_factory: object
+    partitioner_factory: object
+    peer_bounds: Bounds
+    telemetry_enabled: bool
+    merging_enabled: bool
+    record_latencies: bool
+    #: Parent-side :data:`engine.AUDIT_DEFAULT_EVERY_N_TICKS` at spawn
+    #: time (checked mode is often enabled via that module global, which
+    #: a spawned child would not inherit).
+    audit_default_every_n_ticks: int
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _OutputCollector:
+    """Accumulates one command's observable effects for shipping."""
+
+    def __init__(self) -> None:
+        self.packets: list = []
+        self.posts: list = []
+        self.events: list = []
+        self.blocks: list = []
+
+    def handler_for(self, client_id: int):
+        """A transport handler recording deliveries in arrival order."""
+
+        def handler(delivered: DeliveredPacket) -> None:
+            packet = delivered.packet
+            if type(packet) in _WIRE_EXACT:
+                item = (client_id, "w", wire.encode(packet))
+            else:
+                item = (client_id, "p", packet)
+            self.packets.append(item + (delivered.sent_at, delivered.delivered_at))
+
+        return handler
+
+    def on_world_event(self, event) -> None:
+        # Terrain is the only world state the parent mirror tracks
+        # incrementally; entities ship as full snapshots per command.
+        if isinstance(event, BlockChangeEvent):
+            self.blocks.append(
+                (event.pos.x, event.pos.y, event.pos.z, event.new_block.value)
+            )
+
+    def drain(self, shard: ShardServer) -> dict:
+        out = {
+            "packets": self.packets,
+            "posts": self.posts,
+            "events": self.events,
+            "blocks": self.blocks,
+            "entities": tuple(
+                (
+                    entity.entity_id,
+                    entity.kind.value,
+                    entity.position.x,
+                    entity.position.y,
+                    entity.position.z,
+                    entity.yaw,
+                    entity.pitch,
+                    entity.name,
+                )
+                for entity in shard.world.entities()
+            ),
+            "ghosts": tuple(sorted(shard.ghost_ids)),
+        }
+        self.packets, self.posts, self.events, self.blocks = [], [], [], []
+        return out
+
+
+class _RecordingBus:
+    """Worker-side bus stand-in: posts are recorded, never delivered.
+
+    The parent re-posts them on the real :class:`InterShardBus`, where
+    they get their authoritative per-edge sequence numbers. FIFO order
+    survives because this worker is the only source for its edges and
+    the recorded list preserves post order.
+    """
+
+    def __init__(self, out: _OutputCollector) -> None:
+        self._out = out
+        self._handlers: dict[int, object] = {}
+
+    def attach(self, shard_id: int, handler) -> None:
+        self._handlers[shard_id] = handler
+
+    def post(self, src: int, dst: int, message) -> None:
+        self._out.posts.append((dst, message))
+
+
+class _WorkerClusterStub:
+    """The slice of the facade a shard touches, running worker-side.
+
+    Handoff bookkeeping is authoritative in the *parent*; the stub
+    records the callbacks as events for barrier-time replay and answers
+    ``take_handoff`` from the profile data the parent attached to the
+    shipped :class:`SessionHandoff`.
+    """
+
+    def __init__(self, out: _OutputCollector) -> None:
+        self._out = out
+        self._staged_profiles: dict[int, tuple | None] = {}
+        self.shard: ShardServer | None = None
+
+    def stage_handoff(self, client_id: int, profile_data: tuple | None) -> None:
+        self._staged_profiles[client_id] = profile_data
+
+    def on_handoff_started(self, client_id: int, src: int, dst: int) -> None:
+        self._out.events.append(("handoff_started", client_id, src, dst))
+
+    def take_handoff(self, client_id: int) -> ClientProfile | None:
+        data = self._staged_profiles.pop(client_id, None)
+        if data is None:
+            # The parent shipped no profile: the client disconnected
+            # mid-flight and the adoption must drop, exactly like the
+            # serial facade returning None.
+            return None
+        name, link, view_distance, faults = data
+        return ClientProfile(
+            name=name,
+            handler=self._out.handler_for(client_id),
+            link=link,
+            view_distance=view_distance,
+            faults=faults,
+        )
+
+    def on_handoff_completed(self, client_id: int, shard_id: int) -> None:
+        session = self.shard.sessions[client_id]
+        self._out.events.append(
+            (
+                "handoff_completed",
+                client_id,
+                shard_id,
+                session.entity_id,
+                session.name,
+                session.view_distance,
+            )
+        )
+
+
+def _handle_command(shard, sim, out, stub, spec, hub, cmd, payload):
+    if cmd == "start":
+        shard.start(schedule_ticks=False)
+        if spec.num_shards > 1:
+            for other in range(spec.num_shards):
+                if other != spec.shard_id:
+                    shard.ensure_peer(other, spec.peer_bounds)
+        return out.drain(shard)
+    if cmd == "connect":
+        sim.clock.advance_to(payload["time"])
+        x, y, z = payload["position"]
+        session = shard.connect(
+            payload["name"],
+            out.handler_for(payload["client_id"]),
+            position=Vec3(x, y, z),
+            link=payload["link"],
+            view_distance=payload["view_distance"],
+            client_id=payload["client_id"],
+            faults=payload["faults"],
+        )
+        result = out.drain(shard)
+        result["session"] = (
+            session.client_id,
+            session.entity_id,
+            session.name,
+            session.view_distance,
+        )
+        return result
+    if cmd == "disconnect":
+        sim.clock.advance_to(payload["time"])
+        shard.disconnect(payload["client_id"])
+        return out.drain(shard)
+    if cmd == "tick":
+        sim.clock.advance_to(payload["time"])
+        for client_id, action in payload["actions"]:
+            shard.submit_action(client_id, action)
+        duration = shard.tick_once()
+        result = out.drain(shard)
+        result["duration"] = duration
+        return result
+    if cmd == "pump":
+        sim.clock.advance_to(payload["time"])
+        for src, wrapped in payload["segment"]:
+            for item in wrapped:
+                if item[0] == "h":
+                    stub.stage_handoff(item[1].client_id, item[2])
+                shard._on_bus_message(src, item[1])
+        return out.drain(shard)
+    if cmd == "audit":
+        violations = InvariantAuditor().check_server(shard)
+        registered: dict = {}
+        for chunks in shard.peer_registry.values():
+            for chunk in chunks:
+                registered[chunk] = None
+        result = out.drain(shard)
+        result.update(
+            violations=[(v.invariant, v.subject, v.message) for v in violations],
+            remote_interest={
+                owner: tuple(chunks)
+                for owner, chunks in shard.remote_interest.items()
+            },
+            peer_registry={
+                peer: tuple(chunks) for peer, chunks in shard.peer_registry.items()
+            },
+            dyconit_by_chunk={
+                chunk: shard.dyconits.resolve(
+                    shard.dyconits.partitioner.dyconit_for_chunk(chunk)
+                )
+                for chunk in registered
+            },
+            peer_subscriptions={
+                peer_subscriber_id(peer): tuple(
+                    shard.dyconits.subscription_ids_of(peer_subscriber_id(peer))
+                )
+                for peer in shard.peer_registry
+            },
+        )
+        return result
+    if cmd == "finalize":
+        sim.clock.advance_to(payload["time"])
+        transport = shard.transport
+        result = out.drain(shard)
+        result.update(
+            transport={
+                "total_bytes": transport.total_bytes(),
+                "total_packets": transport.total_packets(),
+                "bytes_by_kind": transport.bytes_by_kind(),
+                "packets_by_kind": transport.packets_by_kind(),
+                "latencies_ms": list(transport.latencies_ms),
+                "latency_sample_count": transport.latency_sample_count,
+                "packets_dropped": transport.packets_dropped,
+                "reconnect_count": transport.reconnect_count,
+                "fifo_violations": list(transport.fifo_violations),
+            },
+            metrics=shard.metrics,
+            dyconit_stats=shard.dyconits.stats,
+            counters={
+                "handoffs_in": shard.handoffs_in,
+                "handoffs_out": shard.handoffs_out,
+                "transfers_in": shard.transfers_in,
+                "transfers_out": shard.transfers_out,
+                "messages_sent": shard.messages_sent,
+                "tick_count": shard.tick_count,
+                "smoothed_tick_ms": shard.smoothed_tick_ms,
+            },
+            telemetry=(
+                {
+                    "counters": [
+                        (name, labels, counter.value)
+                        for (name, labels), counter in hub.counters().items()
+                    ],
+                    "gauges": [
+                        (name, labels, gauge.value)
+                        for (name, labels), gauge in hub.gauges().items()
+                    ],
+                    "histograms": [
+                        (name, labels, histogram)
+                        for (name, labels), histogram in hub.histograms().items()
+                    ],
+                }
+                if spec.telemetry_enabled
+                else None
+            ),
+        )
+        return result
+    raise ValueError(f"unknown worker command {cmd!r}")
+
+
+def _shard_worker_main(spec: _WorkerSpec, conn) -> None:
+    """Entry point of one shard worker process (spawn-safe: module
+    level, rebuilds everything from the picklable spec)."""
+    # Fresh hub first: under fork the child inherits the parent's
+    # ambient hub object and every increment would double-count once
+    # the hubs are folded at the barrier.
+    hub = Telemetry(enabled=spec.telemetry_enabled)
+    set_telemetry(hub)
+    engine_module.AUDIT_DEFAULT_EVERY_N_TICKS = spec.audit_default_every_n_ticks
+
+    sim = Simulation()
+    out = _OutputCollector()
+    world = World(
+        seed=spec.config.seed,
+        entity_id_start=spec.shard_id + 1,
+        entity_id_step=spec.num_shards,
+    )
+    shard = ShardServer(
+        sim,
+        shard_id=spec.shard_id,
+        router=ShardRouter(spec.num_shards, spec.strip_width),
+        bus=_RecordingBus(out),
+        peer_bounds=spec.peer_bounds,
+        world=world,
+        config=spec.config,
+        policy=spec.policy_factory(),
+        partitioner=(
+            spec.partitioner_factory()
+            if spec.partitioner_factory is not None
+            else None
+        ),
+        direct_mode=False,
+        telemetry=hub,
+    )
+    stub = _WorkerClusterStub(out)
+    stub.shard = shard
+    shard.cluster = stub
+    shard.dyconits.merging_enabled = spec.merging_enabled
+    shard.transport.record_latencies = spec.record_latencies
+    world.add_listener(out.on_world_event)
+
+    try:
+        while True:
+            try:
+                cmd, payload = conn.recv()
+            except EOFError:
+                break
+            if cmd == "exit":
+                break
+            try:
+                result = _handle_command(
+                    shard, sim, out, stub, spec, hub, cmd, payload
+                )
+            except InvariantViolationError as error:
+                conn.send(
+                    (
+                        "invariant",
+                        [
+                            (v.invariant, v.subject, v.message)
+                            for v in error.violations
+                        ],
+                    )
+                )
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+            else:
+                conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _MirrorWorld:
+    """Parent-side read model of a worker's world.
+
+    Terrain is a real :class:`World` (same seed: block-aware surface
+    queries answer identically) kept current by replaying block deltas;
+    entities and ghosts are replaced wholesale from per-command
+    snapshots, in worker iteration order, so facade reads between
+    barriers see exactly what the serial shard world would hold.
+    """
+
+    def __init__(self, seed: int, entity_id_start: int, entity_id_step: int) -> None:
+        self._terrain = World(
+            seed=seed,
+            entity_id_start=entity_id_start,
+            entity_id_step=entity_id_step,
+        )
+        self._entities: dict[int, Entity] = {}
+
+    def get_entity(self, entity_id: int) -> Entity | None:
+        return self._entities.get(entity_id)
+
+    def entities(self):
+        return list(self._entities.values())
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._entities)
+
+    def apply_blocks(self, blocks) -> None:
+        for x, y, z, value in blocks:
+            self._terrain.set_block(BlockPos(x, y, z), BlockType(value))
+
+    def apply_entities(self, snapshot) -> None:
+        self._entities = {
+            entity_id: Entity(
+                entity_id=entity_id,
+                kind=EntityKind(kind_value),
+                position=Vec3(x, y, z),
+                yaw=yaw,
+                pitch=pitch,
+                name=name,
+            )
+            for entity_id, kind_value, x, y, z, yaw, pitch, name in snapshot
+        }
+
+    def __getattr__(self, name):
+        # Terrain queries (surface_height, surface_position, get_block,
+        # chunk access) delegate to the seed-identical local world.
+        return getattr(self._terrain, name)
+
+
+@dataclass
+class _HandleSession:
+    """Facade-visible view of a session living in a worker."""
+
+    client_id: int
+    entity_id: int
+    name: str
+    view_distance: int
+
+
+class _IdentityPartitioner:
+    """Partitioner stand-in whose tokens the audit map resolves."""
+
+    def dyconit_for_chunk(self, chunk):
+        return chunk
+
+
+class _HandleDyconits:
+    """Just enough dyconit surface for the parent-side I8 audit.
+
+    The worker ships, at each audit barrier, a chunk → resolved dyconit
+    id map and the per-peer subscription id sets; ``resolve`` answers
+    from that map (an unknown chunk resolves to a sentinel that can
+    never be subscribed, turning a desync into a violation instead of a
+    KeyError). ``stats`` is installed at finalize.
+    """
+
+    def __init__(self) -> None:
+        self.merging_enabled = True
+        self.stats = None
+        self.partitioner = _IdentityPartitioner()
+        self._by_chunk: dict = {}
+        self._peer_subscriptions: dict[int, set] = {}
+
+    def load_audit_state(self, by_chunk, peer_subscriptions) -> None:
+        self._by_chunk = dict(by_chunk)
+        self._peer_subscriptions = {
+            subscriber_id: set(ids)
+            for subscriber_id, ids in peer_subscriptions.items()
+        }
+
+    def resolve(self, token):
+        return self._by_chunk.get(token, ("unresolved", token))
+
+    def subscription_ids_of(self, subscriber_id: int) -> set:
+        return self._peer_subscriptions.get(subscriber_id, set())
+
+
+class _TransportSnapshot:
+    """Final transport accounting shipped from a worker.
+
+    Quacks like :class:`~repro.net.transport.Transport` for every
+    aggregate the experiment collector and the facade read; zeros until
+    :meth:`ParallelShardRunner.finalize` installs real numbers.
+    """
+
+    def __init__(self, data: dict | None = None) -> None:
+        data = data or {}
+        self._total_bytes = data.get("total_bytes", 0)
+        self._total_packets = data.get("total_packets", 0)
+        self._bytes_by_kind = data.get("bytes_by_kind", {})
+        self._packets_by_kind = data.get("packets_by_kind", {})
+        self.latencies_ms = data.get("latencies_ms", [])
+        self.latency_sample_count = data.get("latency_sample_count", 0)
+        self.packets_dropped = data.get("packets_dropped", 0)
+        self.reconnect_count = data.get("reconnect_count", 0)
+        self.fifo_violations = data.get("fifo_violations", [])
+        self.record_latencies = False
+
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def total_packets(self) -> int:
+        return self._total_packets
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        return dict(self._bytes_by_kind)
+
+    def packets_by_kind(self) -> dict[str, int]:
+        return dict(self._packets_by_kind)
+
+
+class _ShardHandle:
+    """Parent-side stand-in for one worker shard.
+
+    Exposes the :class:`ShardServer` attributes the facade, the world
+    view, and the cluster auditor read — backed by barrier-synced
+    mirrors instead of live structures.
+    """
+
+    def __init__(self, runner, shard_id, process, conn, num_shards) -> None:
+        self._runner = runner
+        self.shard_id = shard_id
+        self._process = process
+        self._conn = conn
+        self.world = _MirrorWorld(runner.config.seed, shard_id + 1, num_shards)
+        self.ghost_ids: set[int] = set()
+        self.sessions: dict[int, _HandleSession] = {}
+        self.remote_interest: dict = {}
+        self.peer_registry: dict = {}
+        self.dyconits = _HandleDyconits()
+        self.transport = _TransportSnapshot()
+        self.metrics = None
+        self._pending_actions: list = []
+        self.handoffs_in = 0
+        self.handoffs_out = 0
+        self.transfers_in = 0
+        self.transfers_out = 0
+        self.messages_sent = 0
+        self.tick_count = 0
+        self.smoothed_tick_ms = 0.0
+
+    # -- RPC plumbing --------------------------------------------------
+
+    def _send(self, cmd: str, payload) -> None:
+        self._conn.send((cmd, payload))
+
+    def _recv(self):
+        status, payload = self._conn.recv()
+        if status == "invariant":
+            raise InvariantViolationError(
+                [
+                    Violation(invariant, f"shard {self.shard_id}: {subject}", message)
+                    for invariant, subject, message in payload
+                ]
+            )
+        if status == "error":
+            raise RuntimeError(
+                f"shard {self.shard_id} worker failed:\n{payload}"
+            )
+        return payload
+
+    def _rpc(self, cmd: str, payload):
+        self._send(cmd, payload)
+        return self._recv()
+
+    # -- Facade-facing shard API ---------------------------------------
+
+    def connect(
+        self,
+        name,
+        handler,
+        position=None,
+        link=None,
+        view_distance=None,
+        client_id=None,
+        faults=None,
+    ) -> _HandleSession:
+        self._runner._client_handlers[client_id] = handler
+        out = self._rpc(
+            "connect",
+            {
+                "time": self._runner.sim.now,
+                "client_id": client_id,
+                "name": name,
+                "position": (position.x, position.y, position.z),
+                "link": link,
+                "view_distance": view_distance,
+                "faults": faults,
+            },
+        )
+        session = _HandleSession(*out.pop("session"))
+        self.sessions[session.client_id] = session
+        self._runner._apply_output(self, out)
+        return session
+
+    def disconnect(self, client_id: int) -> None:
+        out = self._rpc(
+            "disconnect", {"time": self._runner.sim.now, "client_id": client_id}
+        )
+        self.sessions.pop(client_id, None)
+        self._runner._apply_output(self, out)
+        self._runner._client_handlers.pop(client_id, None)
+
+    def submit_action(self, client_id: int, action) -> None:
+        # Serial shards only look at the inbound queue at the top of a
+        # tick; buffering until the next tick RPC is order-equivalent.
+        self._pending_actions.append((client_id, action))
+
+
+class ParallelShardRunner(ShardedCluster):
+    """A :class:`ShardedCluster` whose shards tick in worker processes.
+
+    Drop-in facade: ``connect`` / ``disconnect`` / ``submit_action`` /
+    ``sessions`` / ``world`` / ``audit_now`` behave identically, and an
+    N-shard parallel run produces byte-identical packet streams to the
+    serial N-shard cluster. Call :meth:`finalize` after the simulation
+    ends to pull final transports/metrics/telemetry out of the workers
+    and shut them down.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        shards: int = 2,
+        strip_width: int = 4,
+        config: ServerConfig | None = None,
+        policy_factory=None,
+        partitioner_factory=None,
+        peer_bounds: Bounds | None = None,
+        telemetry: Telemetry | None = None,
+        mp_context: str | None = None,
+        merging_enabled: bool = True,
+        record_latencies: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        if policy_factory is None:
+            raise ValueError(
+                "the parallel runner needs a policy_factory (direct/vanilla "
+                "mode is serial-only)"
+            )
+        self.sim = sim
+        self.config = config if config is not None else ServerConfig()
+        if not self.config.synchronous_delivery:
+            raise ValueError(
+                "parallel shard ticks require synchronous_delivery: a "
+                "scheduled delivery would land in the parent's event queue "
+                "while the packet lives in a worker"
+            )
+        self.router = ShardRouter(shards, strip_width)
+        self.bus = InterShardBus()
+        # The parent drains the bus with take_round() and ships batches
+        # to workers; the in-place pump() path must never run here.
+        for shard_id in range(shards):
+            self.bus.attach(shard_id, self._reject_inline_delivery)
+        self.peer_bounds = peer_bounds if peer_bounds is not None else Bounds.ZERO
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+
+        self._next_client_id = 1
+        self._shard_by_client: dict[int, int] = {}
+        self._profiles: dict[int, ClientProfile] = {}
+        self._in_transit: dict[int, tuple[int, int]] = {}
+        self._client_handlers: dict[int, object] = {}
+        self.handoffs = 0
+        self.handoffs_cancelled = 0
+        self.pump_count = 0
+        self._running = False
+        self._pump_event = None
+        self._finalized = False
+        self._audit_every_n_pumps = (
+            self.config.audit_every_n_ticks
+            or engine_module.AUDIT_DEFAULT_EVERY_N_TICKS
+        )
+        self._auditor = InvariantAuditor() if self._audit_every_n_pumps > 0 else None
+
+        self._mp = multiprocessing.get_context(mp_context)
+        self.shards: list[_ShardHandle] = []
+        self._next_tick_time: list[float] = [0.0] * shards
+        self._tick_events: list = [None] * shards
+        for shard_id in range(shards):
+            spec = _WorkerSpec(
+                shard_id=shard_id,
+                num_shards=shards,
+                strip_width=strip_width,
+                config=self.config,
+                policy_factory=policy_factory,
+                partitioner_factory=partitioner_factory,
+                peer_bounds=self.peer_bounds,
+                telemetry_enabled=self.telemetry.enabled,
+                merging_enabled=merging_enabled,
+                record_latencies=record_latencies,
+                audit_default_every_n_ticks=engine_module.AUDIT_DEFAULT_EVERY_N_TICKS,
+            )
+            parent_conn, child_conn = self._mp.Pipe()
+            process = self._mp.Process(
+                target=_shard_worker_main,
+                args=(spec, child_conn),
+                daemon=True,
+                name=f"shard-worker-{shard_id}",
+            )
+            process.start()
+            child_conn.close()
+            self.shards.append(
+                _ShardHandle(self, shard_id, process, parent_conn, shards)
+            )
+        self.world = ClusterWorldView(self)
+
+    @staticmethod
+    def _reject_inline_delivery(src: int, message) -> None:
+        raise RuntimeError(
+            "parallel runner bus messages are shipped to workers, never "
+            f"delivered in-place (got {type(message).__name__} from {src})"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("cluster already started")
+        self._running = True
+        for handle in self.shards:
+            handle._send("start", {"time": self.sim.now})
+        for handle in self.shards:
+            self._apply_output(handle, handle._recv())
+        interval = self.config.tick_interval_ms
+        # Same event-insertion order as the serial cluster: shard ticks
+        # 0..N-1, then the pump barrier.
+        for shard_id in range(len(self.shards)):
+            self._next_tick_time[shard_id] = self.sim.now + interval
+            self._tick_events[shard_id] = self.sim.schedule(
+                interval, functools.partial(self._shard_tick, shard_id)
+            )
+        self._pump_event = self.sim.schedule(interval, self._pump)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._pump_event is not None:
+            self._pump_event.cancel()
+            self._pump_event = None
+        for shard_id, event in enumerate(self._tick_events):
+            if event is not None:
+                event.cancel()
+                self._tick_events[shard_id] = None
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        for handle in self.shards:
+            try:
+                handle._send("exit", None)
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self.shards:
+            handle._process.join(timeout=10)
+            if handle._process.is_alive():  # pragma: no cover - defensive
+                handle._process.terminate()
+                handle._process.join(timeout=10)
+            handle._conn.close()
+
+    def finalize(self) -> None:
+        """Pull final transports/metrics/stats/telemetry from the
+        workers, fold them into the parent, and shut the workers down.
+
+        Call after ``sim.run_until`` returns and before reading
+        aggregate results; idempotent."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self.stop()
+        for handle in self.shards:
+            handle._send("finalize", {"time": self.sim.now})
+        payloads = [handle._recv() for handle in self.shards]
+        for handle, payload in zip(self.shards, payloads):
+            self._apply_output(handle, payload)
+            handle.transport = _TransportSnapshot(payload["transport"])
+            handle.metrics = payload["metrics"]
+            handle.dyconits.stats = payload["dyconit_stats"]
+            counters = payload["counters"]
+            handle.handoffs_in = counters["handoffs_in"]
+            handle.handoffs_out = counters["handoffs_out"]
+            handle.transfers_in = counters["transfers_in"]
+            handle.transfers_out = counters["transfers_out"]
+            handle.messages_sent = counters["messages_sent"]
+            handle.tick_count = counters["tick_count"]
+            handle.smoothed_tick_ms = counters["smoothed_tick_ms"]
+            if payload["telemetry"] is not None and self.telemetry.enabled:
+                self._fold_telemetry(payload["telemetry"])
+        self.shutdown()
+
+    def _fold_telemetry(self, dump: dict) -> None:
+        # Counters add, histograms merge (both commutative, so serial
+        # and parallel totals agree); gauges are last-write samples and
+        # folding in shard order keeps them deterministic.
+        for name, labels, value in dump["counters"]:
+            self.telemetry.counter(name, **dict(labels)).increment(value)
+        for name, labels, value in dump["gauges"]:
+            self.telemetry.gauge(name, **dict(labels)).set(value)
+        for name, labels, histogram in dump["histograms"]:
+            self.telemetry.histogram(
+                name, min_value=histogram.min_value, **dict(labels)
+            ).merge(histogram)
+
+    # ------------------------------------------------------------------
+    # Tick phase
+    # ------------------------------------------------------------------
+
+    def _shard_tick(self, shard_id: int) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        # Every shard whose next tick lands at this exact instant joins
+        # the batch: dispatch all tick RPCs first (the workers compute
+        # concurrently), then merge outputs in fixed shard-id order so
+        # the parent-side effects replay the serial insertion sequence.
+        # Shards that drifted out of phase (duration > interval) tick
+        # alone at their own events, exactly like the serial loop.
+        due = [
+            j
+            for j in range(len(self.shards))
+            if self._next_tick_time[j] == now
+        ]
+        for j in due:
+            if j != shard_id and self._tick_events[j] is not None:
+                self._tick_events[j].cancel()
+            handle = self.shards[j]
+            actions = handle._pending_actions
+            handle._pending_actions = []
+            handle._send("tick", {"time": now, "actions": actions})
+        for j in due:
+            handle = self.shards[j]
+            out = handle._recv()
+            self._apply_output(handle, out)
+            delay = max(self.config.tick_interval_ms, out["duration"])
+            self._next_tick_time[j] = now + delay
+            self._tick_events[j] = self.sim.schedule(
+                delay, functools.partial(self._shard_tick, j)
+            )
+
+    # ------------------------------------------------------------------
+    # Pump barrier
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        if not self._running:
+            return
+        self.pump_count += 1
+        delivered = 0
+        rounds_used = MAX_PUMP_ROUNDS
+        for round_index in range(MAX_PUMP_ROUNDS):
+            round_batches = self.bus.take_round()
+            if not round_batches:
+                rounds_used = round_index
+                break
+            # One segment per destination shard, edges in the round's
+            # sorted order; destinations process concurrently (their
+            # in-flight effects are disjoint: own world, own sessions).
+            segments: dict[int, list] = {}
+            for (src, dst), messages in round_batches:
+                wrapped = []
+                for message in messages:
+                    delivered += 1
+                    if isinstance(message, SessionHandoff):
+                        # The facade's half of the adoption happens at
+                        # ship time (exactly once per message, like the
+                        # serial take_handoff at delivery time); the
+                        # picklable profile travels with the message.
+                        profile = self.take_handoff(message.client_id)
+                        data = (
+                            None
+                            if profile is None
+                            else (
+                                profile.name,
+                                profile.link,
+                                profile.view_distance,
+                                profile.faults,
+                            )
+                        )
+                        wrapped.append(("h", message, data))
+                    else:
+                        wrapped.append(("m", message))
+                segments.setdefault(dst, []).append((src, wrapped))
+            for dst in sorted(segments):
+                self.shards[dst]._send(
+                    "pump", {"time": self.sim.now, "segment": segments[dst]}
+                )
+            for dst in sorted(segments):
+                out = self.shards[dst]._recv()
+                self._apply_output(self.shards[dst], out)
+        else:
+            self.bus.last_pump_rounds = MAX_PUMP_ROUNDS
+            raise BusPumpDivergenceError(
+                MAX_PUMP_ROUNDS, self.bus._divergence_snapshot()
+            )
+        self.bus.last_pump_rounds = rounds_used
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter("cluster_pumps_total").increment()
+            if delivered:
+                telemetry.counter("cluster_bus_messages_total").increment(delivered)
+            telemetry.gauge("cluster_bus_bytes").set(self.bus.total_bytes)
+            telemetry.gauge("bus_pump_rounds").set(self.bus.last_pump_rounds)
+            telemetry.gauge("cluster_handoffs").set(self.handoffs)
+            for handle in self.shards:
+                label = str(handle.shard_id)
+                telemetry.gauge("shard_players", shard=label).set(
+                    len(handle.sessions)
+                )
+                telemetry.gauge("shard_ghosts", shard=label).set(
+                    len(handle.ghost_ids)
+                )
+                telemetry.gauge("shard_handoffs_out", shard=label).set(
+                    handle.handoffs_out
+                )
+        if (
+            self._auditor is not None
+            and self.pump_count % self._audit_every_n_pumps == 0
+        ):
+            self.audit_now()
+        self._pump_event = self.sim.schedule(self.config.tick_interval_ms, self._pump)
+
+    # ------------------------------------------------------------------
+    # Output merge
+    # ------------------------------------------------------------------
+
+    def _apply_output(self, handle: _ShardHandle, out: dict) -> None:
+        """Replay one worker command's effects into the parent.
+
+        Packet replay cannot disturb determinism: bot handlers mutate
+        only client-side state and never schedule events, so the only
+        ordering that matters — per-client FIFO and the shard-order
+        interleave of bus posts — is preserved by construction.
+        """
+        for client_id, tag, payload, sent_at, delivered_at in out["packets"]:
+            handler = self._client_handlers.get(client_id)
+            if handler is None:
+                continue
+            packet = wire.decode(payload)[0] if tag == "w" else payload
+            handler(
+                DeliveredPacket(
+                    packet=packet, sent_at=sent_at, delivered_at=delivered_at
+                )
+            )
+        handle.world.apply_blocks(out["blocks"])
+        handle.world.apply_entities(out["entities"])
+        handle.ghost_ids = set(out["ghosts"])
+        for event in out["events"]:
+            if event[0] == "handoff_started":
+                __, client_id, src, dst = event
+                handle.sessions.pop(client_id, None)
+                handle.handoffs_out += 1
+                self.on_handoff_started(client_id, src, dst)
+            else:  # handoff_completed
+                __, client_id, shard_id, entity_id, name, view_distance = event
+                handle.sessions[client_id] = _HandleSession(
+                    client_id, entity_id, name, view_distance
+                )
+                handle.handoffs_in += 1
+                self.on_handoff_completed(client_id, shard_id)
+        for dst, message in out["posts"]:
+            self.bus.post(handle.shard_id, dst, message)
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+
+    def audit_now(self) -> None:
+        """Cluster-wide invariant audit at the pump barrier.
+
+        Per-shard structural checks run worker-side against the live
+        structures (shipped back as violation tuples); the cross-shard
+        pairs (I7 unique ownership, I8 subscription mirror) run parent-
+        side against the barrier-synced mirrors plus the audit payloads.
+        """
+        auditor = self._auditor if self._auditor is not None else InvariantAuditor()
+        for handle in self.shards:
+            handle._send("audit", {"time": self.sim.now})
+        payloads = [handle._recv() for handle in self.shards]
+        violations: list[Violation] = []
+        for handle, payload in zip(self.shards, payloads):
+            self._apply_output(handle, payload)
+            for invariant, subject, message in payload["violations"]:
+                violations.append(
+                    Violation(
+                        invariant, f"shard {handle.shard_id}: {subject}", message
+                    )
+                )
+            handle.remote_interest = {
+                owner: dict.fromkeys(chunks)
+                for owner, chunks in payload["remote_interest"].items()
+            }
+            handle.peer_registry = {
+                peer: dict.fromkeys(chunks)
+                for peer, chunks in payload["peer_registry"].items()
+            }
+            handle.dyconits.load_audit_state(
+                payload["dyconit_by_chunk"], payload["peer_subscriptions"]
+            )
+        auditor._check_unique_ownership(self, violations)
+        auditor._check_subscription_mirror_cluster(self, violations)
+        if self.telemetry.enabled:
+            self.telemetry.counter("invariant_checks_total").increment()
+            if violations:
+                self.telemetry.counter("invariant_violations_total").increment(
+                    len(violations)
+                )
+        if violations:
+            raise InvariantViolationError(violations)

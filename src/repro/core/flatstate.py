@@ -448,10 +448,55 @@ class FlatDyconitState:
         self.excl_by_sub.clear()
         self._drain_cache = None
 
+    def _advance_excluded_cursors(self) -> None:
+        """Advance cursors past window prefixes that replay to nothing.
+
+        The rebase keys off the minimum cursor, so one slot that never
+        drains — e.g. a subscriber excluded from every commit, like a
+        peer subscriber on a dyconit only its own shard writes to —
+        used to pin the whole shared log forever (unbounded memory on
+        long runs). Entries a slot can never deliver are dead to it: a
+        slot with nothing pending may skip its entire window (pending
+        count 0 means every window entry excludes it; a merging
+        supersede never empties a window that saw a non-excluded
+        entry), and any slot may skip the prefix of window entries
+        excluding it. Both moves are replay-neutral —
+        :meth:`materialize_pairs` drops excluded entries anyway, and
+        the mixed-path merge mask resolves skipped ``prev`` entries to
+        the same fresh-enqueue decision via ``_superseded_via_chain`` —
+        and they restore the rebase's progress guarantee (auditor check
+        I9.log-pinned bounds the dead prefix by the compaction period).
+        """
+        end = self.base + len(self.log)
+        changed = False
+        for slot in range(self.n):
+            cur = int(self.cursor[slot])
+            if cur >= end:
+                continue
+            if int(self.count[slot]) + self.count_shared == 0:
+                self.cursor[slot] = end
+                changed = True
+                continue
+            sub = self.subscriber_by_slot[slot].subscriber_id
+            if not self.excl_by_sub.get(sub):
+                continue
+            log_excl = self.log_excl
+            i = max(cur, self.base)
+            while i < end and log_excl[i - self.base] == sub:
+                i += 1
+            if i > cur:
+                self.cursor[slot] = i
+                changed = True
+        if changed:
+            # The broadcast-supersede gate needs max_cursor >= every
+            # cursor; advancing cursors can raise the true maximum.
+            self.max_cursor = int(self._cursor_v.max())
+
     def _maybe_trim(self) -> None:
         """Rebase the log off the minimum cursor when >half of it is dead."""
         if self.n == 0:
             return
+        self._advance_excluded_cursors()
         mc = int(self._cursor_v.min())
         self.min_cursor_lb = mc
         keep_from = mc - self.base
@@ -539,8 +584,6 @@ class FlatDyconitState:
         self.log_prev.append(prev)
         if excl_sub is not None:
             self.excl_by_sub.setdefault(excl_sub, []).append(end)
-        if len(self.log) % _COMPACT_CHECK == 0:
-            self._maybe_trim()
 
         w = update.weight
         err = self.err
@@ -606,6 +649,15 @@ class FlatDyconitState:
                 self._err_v += w
             if self.empty_subs:
                 became = self._mark_pending(update.time, exclude_subscriber)
+
+        # Compaction must wait for the accounting above: the stalled-
+        # cursor advance treats a zero-count slot's window as all-dead,
+        # which is only true once this entry's pending counts are in.
+        # (Trimming mid-append once advanced a freshly-flushed slot's
+        # cursor past the very entry being committed to it, silently
+        # turning the next same-key commit's merge into a fresh enqueue.)
+        if len(self.log) % _COMPACT_CHECK == 0:
+            self._maybe_trim()
 
         # ---- bound checks: conservative gates, exact vectorized scans
         self.count_ub += 1

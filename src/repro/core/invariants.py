@@ -60,8 +60,11 @@ I9  flat columnar store (S17): per slot, a naive replay of the shared
     ``empty_subs`` ≡ zero-count slots; log bookkeeping (``last_key``,
     back-pointers, per-subscriber exclusion indices) matches a fresh
     scan; the scalar gates are conservative (may fire early, never
-    late). Server-side: the engine's commit buffer is drained at every
-    audit barrier — a tick never ends with commits still deferred.
+    late); no slot pins a dead log prefix longer than the compaction
+    period (a stalled or excluded-only subscriber must not hold the
+    shared log hostage). Server-side: the engine's commit buffer is
+    drained at every audit barrier — a tick never ends with commits
+    still deferred.
 """
 
 from __future__ import annotations
@@ -633,6 +636,48 @@ class InvariantAuditor:
                         f"membership {subscriber_id in flat.empty_subs}",
                     )
                 )
+
+        # Log-pinning bound: a slot must never hold the shared log back
+        # by more than one compaction period of entries that are dead to
+        # it. `_advance_excluded_cursors` runs every `_COMPACT_CHECK`
+        # appends, so at any audit barrier an empty slot's cursor lags
+        # the log end by at most that many entries, and a non-empty
+        # slot's window starts with at most that many excluded-for-it
+        # entries. A larger dead prefix means the stalled-subscriber
+        # compaction regressed and the log is growing without bound.
+        from repro.core.flatstate import _COMPACT_CHECK
+
+        log_end = base + len(flat.log)
+        for slot in range(flat.n):
+            subscriber_id = flat.subscriber_by_slot[slot].subscriber_id
+            subject = f"({dyconit_id!r}, subscriber {subscriber_id})"
+            start = max(int(flat.cursor[slot]), base)
+            if int(flat.count[slot]) + flat.count_shared == 0:
+                lag = log_end - start
+                if lag > _COMPACT_CHECK:
+                    violations.append(
+                        Violation(
+                            "I9.log-pinned",
+                            subject,
+                            f"empty slot pins {lag} log entries "
+                            f"(> compaction period {_COMPACT_CHECK})",
+                        )
+                    )
+            else:
+                prefix = 0
+                for i in range(start - base, len(flat.log)):
+                    if flat.log_excl[i] != subscriber_id:
+                        break
+                    prefix += 1
+                if prefix > _COMPACT_CHECK:
+                    violations.append(
+                        Violation(
+                            "I9.log-pinned",
+                            subject,
+                            f"window opens with {prefix} excluded-only "
+                            f"entries (> compaction period {_COMPACT_CHECK})",
+                        )
+                    )
 
         # Scalar gates: exact where claimed exact, conservative otherwise
         # (a gate that can fire late silently breaks a bound promise).

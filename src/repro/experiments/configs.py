@@ -110,6 +110,11 @@ class ExperimentConfig:
     #: Width, in chunks, of the vertical ownership strips the cluster
     #: router hands to shards round-robin.
     strip_width: int = 4
+    #: S18: run each shard's tick phase in a persistent worker process
+    #: (:class:`~repro.cluster.runner.ParallelShardRunner`). Packet
+    #: streams are byte-identical to the serial sharded run; only
+    #: wall-clock behaviour changes.
+    parallel_ticks: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup_ms >= self.duration_ms:
@@ -124,6 +129,17 @@ class ExperimentConfig:
                 "a multi-shard cluster federates through inter-server "
                 "dyconits; policy='vanilla' (direct mode) only supports "
                 "shards=1"
+            )
+        if self.parallel_ticks and self.shards < 2:
+            raise ValueError(
+                "parallel_ticks parallelizes across shards; it needs "
+                "shards >= 2"
+            )
+        if self.parallel_ticks and not self.synchronous_delivery:
+            raise ValueError(
+                "parallel_ticks requires synchronous_delivery: scheduled "
+                "packet deliveries would land in the parent simulation, "
+                "not the shard's worker process"
             )
 
     def with_(self, **overrides) -> "ExperimentConfig":

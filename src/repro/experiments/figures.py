@@ -10,12 +10,15 @@ paper-vs-measured for each.
 
 from __future__ import annotations
 
+import math
+
 from repro.bots.workload import ChurnSpec
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.parallel import run_cells
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.faults.plan import FaultPlan
 from repro.metrics.report import render_table
+from repro.metrics.summary import percentile
 
 #: Order policies appear in the figures. "adaptive-bw" (E1 only) is the
 #: adaptive policy given an explicit bandwidth budget of 25% of the
@@ -684,8 +687,29 @@ def fault_churn_sweep(
 
 
 # ----------------------------------------------------------------------
-# E11 — sharded world: shard-count scaling (S16)
+# E11 — sharded world: shard-count scaling (S16) + parallel ticks (S18)
 # ----------------------------------------------------------------------
+
+
+def tick_variability(result: ExperimentResult, warmup_ms: float) -> dict:
+    """Meterstick-style tick-time variability over the steady window.
+
+    The coefficient of variation (std/mean) and the p99/p50 ratio of the
+    per-tick times — the two variability metrics Meterstick argues are
+    the honest way to report game-loop performance (a mean hides the
+    stalls players actually feel). Computed from the cluster's critical-
+    path tick timeline (slowest shard per tick)."""
+    ticks = [value for time, value in result.tick_timeline if time >= warmup_ms]
+    if not ticks:
+        return {"cov": 0.0, "p99_over_p50": 0.0}
+    mean = sum(ticks) / len(ticks)
+    variance = sum((t - mean) ** 2 for t in ticks) / len(ticks)
+    p50 = percentile(ticks, 50)
+    p99 = percentile(ticks, 99)
+    return {
+        "cov": math.sqrt(variance) / mean if mean > 0 else 0.0,
+        "p99_over_p50": p99 / p50 if p50 > 0 else 0.0,
+    }
 
 
 def shard_scaling(
@@ -699,6 +723,7 @@ def shard_scaling(
     jobs: int = 1,
     cache_dir=None,
     audit_every_n_ticks: int = 0,
+    compare_parallel: bool = True,
 ) -> dict:
     """E11: the same workload on 1, 2, and 4 federated shards.
 
@@ -708,6 +733,16 @@ def shard_scaling(
     handoff pressure. Rows report per-shard tick health, session
     handoffs, and the inter-shard dyconit bandwidth next to the client
     bandwidth it buys down per shard.
+
+    With ``compare_parallel`` (S18), each multi-shard cell also runs
+    under :class:`~repro.cluster.runner.ParallelShardRunner` and the row
+    gains the serial-vs-parallel comparison: Meterstick tick-variability
+    (CoV, p99/p50) for both runtimes, and the determinism check —
+    traffic totals and handoff counts must be identical, because the
+    parallel runtime only changes wall-clock behaviour, never bytes.
+    Tick times come from the deterministic cost model, so the parallel
+    variability columns equal the serial ones exactly unless the
+    runtime changed the per-tick work — equality is itself the signal.
     """
     cells = [
         ExperimentConfig(
@@ -723,43 +758,81 @@ def shard_scaling(
         )
         for shards in shard_counts
     ]
+    parallel_for: dict[int, int] = {}
+    if compare_parallel:
+        for index, shards in enumerate(shard_counts):
+            if shards >= 2:
+                parallel_for[shards] = len(cells)
+                cells.append(
+                    cells[index].with_(
+                        name=f"e11-shards{shards}-par", parallel_ticks=True
+                    )
+                )
+    all_results = run_cells(cells, jobs=jobs, cache_dir=cache_dir)
     rows = []
     results: dict[int, ExperimentResult] = {}
-    for shards, result in zip(
-        shard_counts, run_cells(cells, jobs=jobs, cache_dir=cache_dir)
-    ):
+    parallel_results: dict[int, ExperimentResult] = {}
+    for index, shards in enumerate(shard_counts):
+        result = all_results[index]
         results[shards] = result
         worst_shard_p95 = (
             max(result.shard_tick_p95_ms)
             if result.shard_tick_p95_ms
             else result.tick_duration.p95
         )
-        rows.append(
-            {
-                "shards": shards,
-                "kB/s": result.steady_bytes_per_second / 1e3,
-                "p95 tick ms": result.tick_duration.p95,
-                "worst shard p95 ms": worst_shard_p95,
-                "handoffs": result.handoffs,
-                "transfers": result.entity_transfers,
-                "intershard kB/s": result.intershard_bytes_per_second / 1e3,
-                "err p99": result.positional_error_p99,
-            }
-        )
+        variability = tick_variability(result, warmup_ms)
+        row = {
+            "shards": shards,
+            "kB/s": result.steady_bytes_per_second / 1e3,
+            "p95 tick ms": result.tick_duration.p95,
+            "worst shard p95 ms": worst_shard_p95,
+            "tick CoV": variability["cov"],
+            "p99/p50": variability["p99_over_p50"],
+            "handoffs": result.handoffs,
+            "transfers": result.entity_transfers,
+            "intershard kB/s": result.intershard_bytes_per_second / 1e3,
+            "err p99": result.positional_error_p99,
+            "par CoV": "",
+            "par p99/p50": "",
+            "par identical": "",
+        }
+        if shards in parallel_for:
+            par = all_results[parallel_for[shards]]
+            parallel_results[shards] = par
+            par_variability = tick_variability(par, warmup_ms)
+            row["par CoV"] = par_variability["cov"]
+            row["par p99/p50"] = par_variability["p99_over_p50"]
+            row["par identical"] = (
+                "yes"
+                if (
+                    par.bytes_total == result.bytes_total
+                    and par.packets_total == result.packets_total
+                    and par.handoffs == result.handoffs
+                    and par.intershard_bytes == result.intershard_bytes
+                )
+                else "NO"
+            )
+        rows.append(row)
+    columns = [
+        "shards", "kB/s", "p95 tick ms", "worst shard p95 ms", "tick CoV",
+        "p99/p50", "handoffs", "transfers", "intershard kB/s", "err p99",
+    ]
+    if compare_parallel:
+        columns += ["par CoV", "par p99/p50", "par identical"]
     table = render_table(
-        ["shards", "kB/s", "p95 tick ms", "worst shard p95 ms", "handoffs",
-         "transfers", "intershard kB/s", "err p99"],
-        [
-            [r["shards"], r["kB/s"], r["p95 tick ms"], r["worst shard p95 ms"],
-             r["handoffs"], r["transfers"], r["intershard kB/s"], r["err p99"]]
-            for r in rows
-        ],
+        columns,
+        [[r[column] for column in columns] for r in rows],
         title=(
             f"E11 shard-count scaling ({bots} bots, {movement} workload, "
             f"{policy} policy)"
         ),
     )
-    return {"rows": rows, "table": table, "results": results}
+    return {
+        "rows": rows,
+        "table": table,
+        "results": results,
+        "parallel_results": parallel_results,
+    }
 
 
 def ablation_policy_period(

@@ -42,14 +42,15 @@ from time import perf_counter
 from repro.experiments.configs import ExperimentConfig, config_from_dict, config_to_dict
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.store import atomic_write_text, result_from_dict, result_to_dict
-from repro.telemetry.hub import Telemetry, get_telemetry
+from repro.telemetry.hub import Telemetry, get_telemetry, set_telemetry
 
 #: Version tag hashed into every cache key; bump when the meaning of a
 #: config field (or the result schema) changes so stale cells never
 #: masquerade as current ones. /2: configs grew shards/strip_width and
 #: results grew the S16 cluster counters. /3: configs grew the S17
-#: use_batched_commit toggle.
-CACHE_SCHEMA = "sweep-cell/3"
+#: use_batched_commit toggle. /4: configs grew the S18 parallel_ticks
+#: toggle.
+CACHE_SCHEMA = "sweep-cell/4"
 
 
 def default_start_method() -> str:
@@ -171,6 +172,11 @@ def _worker_main(spec: dict) -> None:
     cache_dir = spec["cache_dir"]
     digest = spec["digest"]
     try:
+        # A forked worker inherits the parent's ambient telemetry hub —
+        # including every counter the parent accumulated before the
+        # fork, so a worker-side dump would double-count parent history.
+        # Install a fresh hub (same enabled-ness) before running a cell.
+        set_telemetry(Telemetry(enabled=get_telemetry().enabled))
         config = config_from_dict(spec["config"])
         recomputed = config_digest(config)
         if recomputed != digest:

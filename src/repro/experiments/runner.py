@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 
 from repro.bots.workload import ChurnWorkload, Workload
-from repro.cluster import ShardedCluster
+from repro.cluster import ParallelShardRunner, ShardedCluster
 from repro.experiments.configs import ExperimentConfig, make_partitioner
 from repro.metrics.summary import Summary, describe
 from repro.server.engine import GameServer
@@ -113,20 +114,47 @@ def run_experiment(
     if config.shards > 1:
         # Sharded world (S16): each shard is a full GameServer; the
         # facade keeps the single-server surface the workload expects.
-        cluster = ShardedCluster(
-            sim,
-            shards=config.shards,
-            strip_width=config.strip_width,
-            config=config.build_server_config(),
-            policy_factory=config.build_policy,
-            partitioner_factory=lambda: make_partitioner(config.partitioner),
-            telemetry=telemetry,
-        )
-        for shard in cluster.shards:
-            shard.dyconits.merging_enabled = config.merging_enabled
-            shard.transport.record_latencies = config.record_latencies
-            if telemetry.enabled:
-                install_tracer(shard.dyconits, telemetry)
+        use_parallel = config.parallel_ticks
+        if use_parallel and multiprocessing.current_process().daemon:
+            # A daemonic process (an S14 sweep worker) cannot have
+            # children, so the parallel runtime cannot spawn its shard
+            # workers here. Fall back to the serial cluster: the S18
+            # contract makes the result byte-identical either way, so
+            # the cell's output — and hence its cached payload and the
+            # merged store — does not depend on where it ran.
+            use_parallel = False
+            telemetry.counter("cluster_parallel_ticks_degraded_total").increment()
+        if use_parallel:
+            # S18: shard ticks run in worker processes. Merging and
+            # latency recording travel in the worker spec (the parent
+            # holds mirrors, not live shards), and the dyconit tracer
+            # cannot bridge process boundaries, so it stays off.
+            cluster = ParallelShardRunner(
+                sim,
+                shards=config.shards,
+                strip_width=config.strip_width,
+                config=config.build_server_config(),
+                policy_factory=config.build_policy,
+                partitioner_factory=lambda: make_partitioner(config.partitioner),
+                telemetry=telemetry,
+                merging_enabled=config.merging_enabled,
+                record_latencies=config.record_latencies,
+            )
+        else:
+            cluster = ShardedCluster(
+                sim,
+                shards=config.shards,
+                strip_width=config.strip_width,
+                config=config.build_server_config(),
+                policy_factory=config.build_policy,
+                partitioner_factory=lambda: make_partitioner(config.partitioner),
+                telemetry=telemetry,
+            )
+            for shard in cluster.shards:
+                shard.dyconits.merging_enabled = config.merging_enabled
+                shard.transport.record_latencies = config.record_latencies
+                if telemetry.enabled:
+                    install_tracer(shard.dyconits, telemetry)
         cluster.start()
         server = cluster
         policy = None
@@ -168,6 +196,10 @@ def run_experiment(
         sim.run_until(config.duration_ms)
 
     if cluster is not None:
+        if isinstance(cluster, ParallelShardRunner):
+            # Pull transport/metrics/dyconit state out of the workers
+            # and shut them down before reading the handles.
+            cluster.finalize()
         return collect_cluster_result(config, cluster, workload)
     return collect_result(config, server, workload, policy)
 

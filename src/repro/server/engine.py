@@ -156,12 +156,17 @@ class GameServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def start(self) -> None:
+    def start(self, schedule_ticks: bool = True) -> None:
         """Spawn ambient mobs and schedule the first tick.
 
         Restart-safe: mobs are only spawned once per server, and any tick
         still scheduled from a previous start/stop cycle is superseded so
         a restarted server never ticks at double speed.
+
+        ``schedule_ticks=False`` starts the server without entering the
+        self-scheduling tick loop: an external driver (the S18 parallel
+        shard runner's worker loop) calls :meth:`tick_once` itself and
+        owns the cadence.
         """
         if self._running:
             raise RuntimeError("server already started")
@@ -170,7 +175,8 @@ class GameServer:
             self._spawn_mobs()
         if self._tick_event is not None:
             self._tick_event.cancel()
-        self._tick_event = self.sim.schedule(self.config.tick_interval_ms, self._tick)
+        if schedule_ticks:
+            self._tick_event = self.sim.schedule(self.config.tick_interval_ms, self._tick)
 
     def stop(self) -> None:
         self._running = False
@@ -478,6 +484,23 @@ class GameServer:
     def _tick(self) -> None:
         if not self._running:
             return
+        duration = self.tick_once()
+
+        # 8. Schedule the next tick. An overloaded tick pushes the next
+        #    one out, dropping the effective tick rate below 20 Hz.
+        delay = max(self.config.tick_interval_ms, duration)
+        self._tick_event = self.sim.schedule(delay, self._tick)
+
+    def tick_once(self) -> float:
+        """Run one tick's phases (input, simulate, flush, keepalive,
+        pricing, policy, audit) and return the priced duration in ms.
+
+        This is the whole tick *except* scheduling the next one — the
+        seam the parallel shard runner drives from a worker process,
+        where the parent owns the tick cadence and the worker only
+        executes phases. The self-scheduling loop (:meth:`_tick`) calls
+        it too, so both drivers run byte-identical phase sequences.
+        """
         self.tick_count += 1
 
         bytes_before = self.transport.total_bytes()
@@ -561,10 +584,7 @@ class GameServer:
         if self._auditor is not None and self.tick_count % self._audit_every_n_ticks == 0:
             self.audit_now()
 
-        # 8. Schedule the next tick. An overloaded tick pushes the next
-        #    one out, dropping the effective tick rate below 20 Hz.
-        delay = max(self.config.tick_interval_ms, duration)
-        self._tick_event = self.sim.schedule(delay, self._tick)
+        return duration
 
     def audit_now(self) -> None:
         """Run one invariant audit; raises on any violation.

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.cluster.bus import MAX_PUMP_ROUNDS, InterShardBus
+from repro.cluster.bus import (
+    MAX_PUMP_ROUNDS,
+    BusPumpDivergenceError,
+    InterShardBus,
+)
 from repro.cluster.messages import (
     GhostChat,
     PeerUnsubscribe,
@@ -99,6 +103,84 @@ def test_non_converging_cascade_raises_instead_of_hanging():
     bus.post(0, 1, tagged())
     with pytest.raises(RuntimeError, match=f"{MAX_PUMP_ROUNDS} rounds"):
         bus.pump()
+
+
+def test_divergence_error_carries_per_edge_diagnostics():
+    """Regression: a non-converging pump used to raise a bare
+    RuntimeError with only the round count — no way to tell which edges
+    were cycling or what was stuck on them."""
+    bus = InterShardBus()
+    # Two independent ping-pong cycles (0<->1 and 2<->3); every handler
+    # reposts to its partner, so the pump never drains.
+    for me, partner in ((0, 1), (1, 0), (2, 3), (3, 2)):
+        bus.attach(
+            me,
+            lambda src, msg, me=me, partner=partner: bus.post(
+                me, partner, tagged("again")
+            ),
+        )
+    bus.post(0, 1, tagged("seed-a"))
+    bus.post(2, 3, tagged("seed-b"))
+    with pytest.raises(BusPumpDivergenceError) as excinfo:
+        bus.pump()
+    error = excinfo.value
+    assert error.rounds == MAX_PUMP_ROUNDS
+    # One stuck edge per cycle shows up, with depth + seq window +
+    # message kinds per edge (the direction depends on round parity).
+    assert len(error.edges) == 2
+    assert all(edge in {(0, 1), (1, 0)} or edge in {(2, 3), (3, 2)}
+               for edge in error.edges)
+    for info in error.edges.values():
+        assert info["depth"] >= 1
+        assert info["last_seq"] >= info["first_seq"]
+        assert info["kinds"] == {"PeerUpdates": info["depth"]}
+    text = str(error)
+    for (src, dst), info in error.edges.items():
+        assert f"edge {src}->{dst}: depth={info['depth']}" in text
+    assert "PeerUpdates" in text
+    # The gauge source reflects the exhausted cap, not a stale value.
+    assert bus.last_pump_rounds == MAX_PUMP_ROUNDS
+
+
+def test_last_pump_rounds_tracks_cascade_depth():
+    bus, __ = make_bus()
+    assert bus.last_pump_rounds == 0
+    bus.post(0, 1, tagged())
+    bus.pump()
+    assert bus.last_pump_rounds == 1
+
+    # A ping->pong cascade takes two rounds; an empty pump takes zero.
+    replies = iter([True, False])
+
+    def reply_once(src, msg):
+        if next(replies, False):
+            cascade.post(1, 0, tagged("pong"))
+
+    cascade = InterShardBus()
+    cascade.attach(0, lambda src, msg: None)
+    cascade.attach(1, reply_once)
+    cascade.post(0, 1, tagged("ping"))
+    cascade.pump()
+    assert cascade.last_pump_rounds == 2
+    cascade.pump()
+    assert cascade.last_pump_rounds == 0
+
+
+def test_take_round_matches_pump_round_structure():
+    """The parallel runner drains via take_round(); the rounds it sees
+    must be exactly the rounds pump() would deliver."""
+    bus, __ = make_bus((0, 1, 2))
+    bus.post(2, 0, tagged("late-edge"))
+    bus.post(0, 1, tagged("a"))
+    bus.post(0, 1, tagged("b"))
+    first = bus.take_round()
+    assert [edge for edge, __ in first] == [(0, 1), (2, 0)]
+    assert [tag_of(m) for m in dict(first)[(0, 1)]] == ["a", "b"]
+    # Posts landing while a round is out wait for the next round.
+    bus.post(1, 2, tagged("next"))
+    second = bus.take_round()
+    assert [edge for edge, __ in second] == [(1, 2)]
+    assert bus.take_round() == []
 
 
 def test_self_post_rejected():

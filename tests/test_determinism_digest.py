@@ -40,10 +40,13 @@ def test_digests_identical_across_hash_seeds():
     transcript_a = run_check("0", jobs=1)
     transcript_b = run_check("12345", jobs=1)
     assert transcript_a == transcript_b
-    # Sanity: the transcript actually contains digests.
+    # Sanity: the transcript actually contains digests, and the S18
+    # serial-vs-parallel cluster differential ran and passed.
     lines = transcript_a.strip().splitlines()
     assert lines[-1].startswith("store ")
-    assert all(line.startswith("cell ") for line in lines[:-1])
+    assert lines[-2] == "serial/parallel cluster cells identical"
+    assert all(line.startswith("cell ") for line in lines[:-2])
+    assert any("-par " in line for line in lines[:-2])
 
 
 @pytest.mark.slow

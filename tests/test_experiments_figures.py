@@ -94,6 +94,29 @@ def test_shard_scaling_rows():
     assert single["handoffs"] == 0
     assert dual["intershard kB/s"] > 0.0
     assert dual["worst shard p95 ms"] >= 0.0
+    # Meterstick variability columns come from the steady tick window.
+    for row in out["rows"]:
+        assert row["tick CoV"] >= 0.0
+        assert row["p99/p50"] >= 1.0
+    # S18: multi-shard rows carry the serial-vs-parallel comparison; the
+    # 1-shard row has no parallel sibling (nothing to parallelise).
+    assert single["par identical"] == ""
+    assert dual["par identical"] == "yes"
+    assert dual["par CoV"] >= 0.0
+    assert dual["par p99/p50"] >= 1.0
+    par = out["parallel_results"][2]
+    serial = out["results"][2]
+    assert par.bytes_total == serial.bytes_total
+    assert par.packets_total == serial.packets_total
+    assert par.handoffs == serial.handoffs
+
+
+def test_shard_scaling_can_skip_the_parallel_comparison():
+    out = figures.shard_scaling(
+        shard_counts=(2,), compare_parallel=False, **TINY
+    )
+    assert out["parallel_results"] == {}
+    assert "par identical" not in out["table"]
 
 
 def test_shard_scaling_uses_the_sweep_cache(tmp_path):

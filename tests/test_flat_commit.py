@@ -14,6 +14,8 @@ import math
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.bounds import Bounds
 from repro.core.invariants import InvariantAuditor
@@ -488,3 +490,150 @@ def test_stats_dataclass_unchanged_fields():
     assert set(DyconitStats.__dataclass_fields__) >= {
         "commits", "updates_enqueued", "updates_merged", "bound_checks", "flushes",
     }
+
+
+# ----------------------------------------------------------------------
+# Log rebase vs stalled cursors (S18 satellite fix)
+# ----------------------------------------------------------------------
+
+
+class _patched_compact_period:
+    """Temporarily shrink the compaction period so short tapes cross
+    several trim cycles (restored even when the test body raises)."""
+
+    def __init__(self, period: int) -> None:
+        self.period = period
+
+    def __enter__(self):
+        import repro.core.flatstate as flatstate
+
+        self._flatstate = flatstate
+        self._saved = flatstate._COMPACT_CHECK
+        flatstate._COMPACT_CHECK = self.period
+        return self
+
+    def __exit__(self, *exc):
+        self._flatstate._COMPACT_CHECK = self._saved
+        return False
+
+
+def test_stalled_excluded_subscriber_does_not_pin_the_log(system, clock):
+    """Regression: the log rebase keys off the minimum cursor, so a
+    subscriber excluded from every commit (a peer subscriber on a
+    dyconit only its own shard writes to) never drained and pinned the
+    whole shared log — unbounded memory on long runs. Needs >= 3
+    subscribers: with 2, the all-empty reset happens to collect the log
+    whenever the one real queue drains."""
+    from repro.core.flatstate import _COMPACT_CHECK
+
+    recs = {sid: RecordingSubscriber(sid) for sid in (1, 2, 3)}
+    for sid in (1, 2, 3):
+        system.subscribe(
+            CHUNK_A, recs[sid].subscriber, bounds=Bounds(math.inf, math.inf)
+        )
+    flat = _flat(system, CHUNK_A)
+    commits = 3 * _COMPACT_CHECK
+    for i in range(commits):
+        system.commit_to(CHUNK_A, move(1, clock["now"], 0.1), exclude_subscriber=3)
+        # Alternate drains so the all-empty log reset never fires: one
+        # of subscribers 1/2 always holds a pending entry.
+        system.flush(CHUNK_A, 1 if i % 2 == 0 else 2)
+    assert len(flat.log) < _COMPACT_CHECK  # used to be == commits
+    assert InvariantAuditor().check(system) == []
+
+
+def test_excluded_only_window_prefix_is_skipped_at_trim(system, clock):
+    """A slot with real pending entries may still open its window on a
+    long run of entries that exclude it; the trim must advance its
+    cursor past that dead prefix (replay-neutral) instead of letting it
+    hold the rebase back."""
+    from repro.core.flatstate import _COMPACT_CHECK
+
+    recs = {sid: RecordingSubscriber(sid) for sid in (1, 2, 3)}
+    for sid in (1, 2, 3):
+        system.subscribe(
+            CHUNK_A, recs[sid].subscriber, bounds=Bounds(math.inf, math.inf)
+        )
+    flat = _flat(system, CHUNK_A)
+    prefix = _COMPACT_CHECK + _COMPACT_CHECK // 2
+    for i in range(prefix):
+        system.commit_to(CHUNK_A, move(1, clock["now"], 0.1), exclude_subscriber=3)
+        system.flush(CHUNK_A, 1 if i % 2 == 0 else 2)
+    # Now subscriber 3 gains one real pending entry...
+    marker = move(2, clock["now"], 0.3)
+    system.commit_to(CHUNK_A, marker)
+    marker_index = flat.base + len(flat.log) - 1
+    # ...followed by more excluded-for-3 traffic crossing a trim point.
+    for i in range(_COMPACT_CHECK):
+        system.commit_to(CHUNK_A, move(1, clock["now"], 0.1), exclude_subscriber=3)
+        system.flush(CHUNK_A, 1 if i % 2 == 0 else 2)
+    slot3 = flat.slots[3]
+    assert int(flat.cursor[slot3]) >= marker_index >= flat.base
+    pending3 = flat.view(3).pending
+    assert list(pending3.values()) == [marker]
+    assert InvariantAuditor().check(system) == []
+    # The marker still delivers exactly once.
+    system.flush(CHUNK_A, 3)
+    assert recs[3].delivered_updates == [marker]
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    tape=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("commit"),
+                st.integers(min_value=1, max_value=3),
+                st.sampled_from(DX_CHOICES),
+            ),
+            st.tuples(st.just("flush"), st.integers(min_value=1, max_value=2)),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_hypothesis_stalled_cursor_stays_bounded_and_exact(tape):
+    """Property: under any interleaving of commits (all excluding the
+    stalled subscriber 3) and drains of subscribers 1/2, the flat store
+    stays bit-identical to the legacy store and passes the auditor —
+    including I9.log-pinned, which bounds how far the stalled cursor may
+    lag (pre-fix, any tape with more commits than the compaction period
+    violates it)."""
+    # Append a stalled run longer than the (shrunk) compaction period so
+    # *every* example ends in the regression's shape — a full drain of
+    # 1 and 2 mid-tape resets the log, so a purely random tape rarely
+    # keeps a long-enough dead suffix; hypothesis still varies the
+    # prefix the stall lands on (cursor positions, merge chains,
+    # half-drained windows).
+    tape = tape + [("commit", 1, 0.1)] * 24
+    with _patched_compact_period(8):
+
+        def run(use_batched):
+            clock = {"now": 0.0}
+            system = DyconitSystem(
+                StaticPolicy(Bounds(math.inf, math.inf)),
+                ChunkPartitioner(),
+                time_source=lambda: clock["now"],
+                use_batched_commit=use_batched,
+            )
+            recs = {sid: RecordingSubscriber(subscriber_id=sid) for sid in (1, 2, 3)}
+            for sid in (1, 2, 3):
+                system.subscribe(CHUNK_A, recs[sid].subscriber)
+            for op in tape:
+                if op[0] == "commit":
+                    __, entity, dx = op
+                    clock["now"] += 10.0
+                    system.commit_to(
+                        CHUNK_A, move(entity, clock["now"], dx), exclude_subscriber=3
+                    )
+                else:
+                    system.flush(CHUNK_A, op[1])
+            return system, recs
+
+        flat_system, flat_recs = run(True)
+        legacy_system, legacy_recs = run(False)
+        for sid in (1, 2, 3):
+            assert flat_recs[sid].deliveries == legacy_recs[sid].deliveries
+        assert flat_system.stats == legacy_system.stats
+        assert final_states(flat_system) == final_states(legacy_system)
+        assert InvariantAuditor().check(flat_system) == []
