@@ -1,0 +1,46 @@
+"""Pluggable state/event backends (S19).
+
+>>> from repro.backends import create_state_store
+>>> store = create_state_store("sqlite")            # or "memory", a URL, ...
+>>> system = DyconitSystem(policy, state_store=store)
+
+See :mod:`repro.backends.base` for the protocols and
+:mod:`repro.backends.registry` for spec strings and registration.
+"""
+
+from repro.backends.base import (
+    BackendUnavailable,
+    DyconitStateHandle,
+    EventBus,
+    StateStore,
+)
+from repro.backends.memory import BufferedEventBus, DirectEventBus, InMemoryStateStore
+from repro.backends.redis_store import REDIS_URL_ENV, RedisStateStore
+from repro.backends.registry import (
+    create_event_bus,
+    create_state_store,
+    event_bus_factories,
+    register_event_bus,
+    register_state_store,
+    state_store_factories,
+)
+from repro.backends.sqlite_store import SQLiteStateStore
+
+__all__ = [
+    "BackendUnavailable",
+    "BufferedEventBus",
+    "DirectEventBus",
+    "DyconitStateHandle",
+    "EventBus",
+    "InMemoryStateStore",
+    "REDIS_URL_ENV",
+    "RedisStateStore",
+    "SQLiteStateStore",
+    "StateStore",
+    "create_event_bus",
+    "create_state_store",
+    "event_bus_factories",
+    "register_event_bus",
+    "register_state_store",
+    "state_store_factories",
+]

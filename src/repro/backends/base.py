@@ -1,0 +1,178 @@
+"""Backend protocols: where dyconit state lives, and how flushes fan out.
+
+Two seams (S19) turn the middleware from an in-process library into a
+deployable service:
+
+* :class:`StateStore` — the factory and home of per-dyconit subscription
+  state. The :class:`~repro.core.manager.DyconitSystem` never constructs
+  a :class:`~repro.core.dyconit.Dyconit` directly any more; it asks its
+  store for a *dyconit state handle* and talks to that handle through
+  the surface documented on :class:`DyconitStateHandle`. The in-memory
+  store hands back today's ``Dyconit`` objects unchanged, so the default
+  path is byte-identical to the pre-seam tree; the SQLite store hands
+  back handles whose queues live in a database, and Redis/Postgres
+  adapters slot in the same way.
+
+* :class:`EventBus` — the delivery edge of a flush. The manager's
+  ``_deliver`` publishes ``(dyconit id, subscriber, updates)`` to the
+  bus instead of invoking the subscriber callback itself. The direct bus
+  reproduces the legacy inline call; a buffered bus decouples delivery
+  for gateway taps and future networked fan-out.
+
+Both protocols are *synchronous and single-writer by design*: the
+simulation owns the only mutating thread, exactly as before. A backend
+that wants asynchrony (Redis pub/sub, a network bus) must still present
+this synchronous surface to the middleware and do its own pipelining
+behind it — the determinism contract (run-to-run bit identity) is part
+of the protocol, not an accident of the in-memory implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.subscription import Subscriber
+    from repro.core.update import Update
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a backend's driver or service is not reachable.
+
+    The conformance suite treats this as a *skip*, not a failure: a
+    registered backend may legitimately be absent from a given
+    environment (e.g. the Redis adapter without a ``REPRO_REDIS_URL``).
+    """
+
+
+class DyconitStateHandle(abc.ABC):
+    """The per-dyconit surface the manager drives.
+
+    This documents (and, for non-memory backends, enforces) the exact
+    method set :class:`~repro.core.manager.DyconitSystem` uses on the
+    objects it gets from :meth:`StateStore.create_dyconit_state`. The
+    in-memory store returns :class:`~repro.core.dyconit.Dyconit`, which
+    satisfies this surface structurally (it predates the seam and is not
+    re-parented, so existing isinstance checks and pickling stay
+    untouched); adapters subclass this ABC so a missing method is a
+    loud TypeError at construction, not a silent divergence later.
+
+    Required attributes: ``dyconit_id``, ``total_committed_weight``,
+    ``commit_count``, ``default_bounds``, ``merging`` and ``_flat``
+    (``None`` unless the handle implements the S17 columnar fast path —
+    the manager branches on it in ``_commit_resolved``).
+
+    Subscription-state objects returned by :meth:`get_state` /
+    :meth:`subscription_states` / :meth:`subscribe` /
+    :meth:`unsubscribe` must be drop-in compatible with
+    :class:`~repro.core.dyconit.SubscriptionState`: ``subscriber``,
+    ``bounds`` (settable), ``pending``, ``accumulated_error``,
+    ``oldest_pending_time``, ``enqueued_count``, ``merged_count``,
+    ``has_pending``, ``oldest_age_ms``, ``tripped_dimension``,
+    ``exceeds_bounds``, ``enqueue``, ``drain`` and
+    ``restore_time_order`` — the contract suite checks every one of
+    these against every registered backend.
+    """
+
+    dyconit_id: Hashable
+    total_committed_weight: float
+    commit_count: int
+    _flat = None
+
+    @property
+    @abc.abstractmethod
+    def subscriber_count(self) -> int: ...
+
+    @abc.abstractmethod
+    def subscribers(self) -> list["Subscriber"]: ...
+
+    @abc.abstractmethod
+    def subscription_states(self) -> list: ...
+
+    @abc.abstractmethod
+    def is_subscribed(self, subscriber_id: int) -> bool: ...
+
+    @abc.abstractmethod
+    def subscribe(self, subscriber: "Subscriber", bounds=None): ...
+
+    @abc.abstractmethod
+    def unsubscribe(self, subscriber_id: int): ...
+
+    @abc.abstractmethod
+    def get_state(self, subscriber_id: int): ...
+
+    @abc.abstractmethod
+    def set_bounds(self, subscriber_id: int, bounds) -> None: ...
+
+    @abc.abstractmethod
+    def commit(self, update: "Update", exclude_subscriber: int | None = None): ...
+
+    def _ensure_private(self) -> None:
+        """Drop any columnar fast path back to per-object states.
+
+        Called by the manager before repartitioning moves backlogs
+        across queues. Handles without a columnar mode need no work.
+        """
+
+
+class StateStore(abc.ABC):
+    """Factory and lifecycle owner of dyconit state handles.
+
+    One store serves one :class:`~repro.core.manager.DyconitSystem`.
+    The store decides *where* subscription queues and conit accounting
+    live; the manager keeps its own ``dict`` of live handles (a cache,
+    not the source of truth for persistent backends) and tells the
+    store when a dyconit is gone so persistent rows can be collected.
+    """
+
+    #: Registry name (``"memory"``, ``"sqlite"``, ``"redis"``, ...).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def create_dyconit_state(
+        self, dyconit_id: Hashable, *, merging: bool, flat: bool
+    ) -> DyconitStateHandle:
+        """Create (or, for persistent stores, re-attach) a dyconit's state.
+
+        ``flat`` asks for the S17 columnar fast path; a store that has no
+        columnar mode may ignore it — the manager falls back to the
+        legacy per-update commit path whenever ``handle._flat is None``.
+        """
+
+    def drop_dyconit_state(self, dyconit_id: Hashable) -> None:
+        """The manager removed this dyconit (or merged it away)."""
+
+    def close(self) -> None:
+        """Release backend resources (connections, files)."""
+
+
+class EventBus(abc.ABC):
+    """Fan-out edge: flushed update batches on their way to subscribers."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def publish(
+        self,
+        dyconit_id: Hashable,
+        subscriber: "Subscriber",
+        updates: Sequence["Update"],
+    ) -> None:
+        """Hand one flushed batch to one subscriber.
+
+        Contract: batches for the same subscriber are delivered in
+        publish order, exactly once, with the update sequence unchanged
+        (the middleware already merged and time-ordered it).
+        """
+
+    def drain(self) -> int:
+        """Deliver anything buffered; returns batches delivered.
+
+        The direct bus has nothing to drain and returns 0. Buffered
+        buses deliver here — the engine calls this at its tick barrier.
+        """
+        return 0
+
+    def close(self) -> None:
+        """Release bus resources."""

@@ -1,0 +1,81 @@
+"""In-memory backends: the pre-seam behaviour, verbatim.
+
+``InMemoryStateStore`` hands the manager exactly the
+:class:`~repro.core.dyconit.Dyconit` objects it used to construct
+itself, and ``DirectEventBus`` reproduces the legacy inline
+``subscriber.deliver(...)`` call — so a system built on the default
+backends is *byte-identical* to the pre-refactor tree (the existing
+2k-tick single-server and 2-shard differential harnesses run unmodified
+against it).
+
+``BufferedEventBus`` is the first non-trivial bus: it queues published
+batches and delivers them, in publish order, when :meth:`drain` is
+called. It exists for consumers that want a barrier between flush
+decision and delivery (gateway taps, future networked fan-out) and as
+the second implementation that keeps the EventBus contract honest.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.backends.base import EventBus, StateStore
+from repro.core.dyconit import Dyconit
+from repro.core.subscription import Subscriber
+from repro.core.update import Update
+
+
+class InMemoryStateStore(StateStore):
+    """Dyconit state as plain Python objects (the classic path)."""
+
+    name = "memory"
+
+    def create_dyconit_state(
+        self, dyconit_id: Hashable, *, merging: bool, flat: bool
+    ) -> Dyconit:
+        return Dyconit(dyconit_id, merging=merging, flat=flat)
+
+
+class DirectEventBus(EventBus):
+    """Deliver each flushed batch inline, on the publishing call stack."""
+
+    name = "direct"
+
+    def publish(
+        self, dyconit_id: Hashable, subscriber: Subscriber, updates: Sequence[Update]
+    ) -> None:
+        subscriber.deliver(dyconit_id, updates)
+
+
+class BufferedEventBus(EventBus):
+    """Queue published batches; deliver them in publish order on drain."""
+
+    name = "buffered"
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[Hashable, Subscriber, Sequence[Update]]] = []
+        self.published = 0
+        self.delivered = 0
+
+    def publish(
+        self, dyconit_id: Hashable, subscriber: Subscriber, updates: Sequence[Update]
+    ) -> None:
+        self._queue.append((dyconit_id, subscriber, updates))
+        self.published += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def drain(self) -> int:
+        delivered = 0
+        # Deliveries may publish follow-on batches (a handler committing
+        # back into the system); keep draining until quiescent so drain()
+        # is a true barrier.
+        while self._queue:
+            batch, self._queue = self._queue, []
+            for dyconit_id, subscriber, updates in batch:
+                subscriber.deliver(dyconit_id, updates)
+                delivered += 1
+        self.delivered += delivered
+        return delivered

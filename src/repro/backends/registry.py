@@ -1,0 +1,88 @@
+"""Backend registries and spec resolution.
+
+Backends register a *factory* under a name; systems are configured with
+a **spec** — either an already-constructed backend instance or a string:
+
+* ``"memory"`` — in-memory store (the default; byte-identical legacy
+  behaviour);
+* ``"sqlite"`` — SQLite store in ``:memory:``;
+* ``"sqlite:///path/to.db"`` — SQLite store on disk;
+* ``"redis"`` / ``"redis://host:port/db"`` — Redis store (requires the
+  client package and a reachable server, else
+  :class:`~repro.backends.base.BackendUnavailable`).
+
+The conformance suite iterates :func:`state_store_factories` /
+:func:`event_bus_factories`, so registering a new adapter is all it
+takes to put it under the full contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backends.base import EventBus, StateStore
+from repro.backends.memory import BufferedEventBus, DirectEventBus, InMemoryStateStore
+from repro.backends.redis_store import RedisStateStore
+from repro.backends.sqlite_store import SQLiteStateStore
+
+_STATE_STORES: dict[str, Callable[[], StateStore]] = {}
+_EVENT_BUSES: dict[str, Callable[[], EventBus]] = {}
+
+
+def register_state_store(name: str, factory: Callable[[], StateStore]) -> None:
+    """Register a store factory; later registrations override earlier."""
+    _STATE_STORES[name] = factory
+
+
+def register_event_bus(name: str, factory: Callable[[], EventBus]) -> None:
+    _EVENT_BUSES[name] = factory
+
+
+def state_store_factories() -> dict[str, Callable[[], StateStore]]:
+    """Registered store factories (name -> zero-arg factory)."""
+    return dict(_STATE_STORES)
+
+
+def event_bus_factories() -> dict[str, Callable[[], EventBus]]:
+    return dict(_EVENT_BUSES)
+
+
+def create_state_store(spec: "StateStore | str | None") -> StateStore:
+    """Resolve a store spec (instance, name, or URL) to an instance."""
+    if spec is None:
+        spec = "memory"
+    if isinstance(spec, StateStore):
+        return spec
+    if spec.startswith("sqlite:///"):
+        return SQLiteStateStore(spec[len("sqlite:///"):])
+    if spec.startswith("redis://"):
+        return RedisStateStore(url=spec)
+    factory = _STATE_STORES.get(spec)
+    if factory is None:
+        raise ValueError(
+            f"unknown state store {spec!r}; registered: {sorted(_STATE_STORES)}"
+        )
+    return factory()
+
+
+def create_event_bus(spec: "EventBus | str | None") -> EventBus:
+    """Resolve a bus spec (instance or name) to an instance."""
+    if spec is None:
+        spec = "direct"
+    if isinstance(spec, EventBus):
+        return spec
+    factory = _EVENT_BUSES.get(spec)
+    if factory is None:
+        raise ValueError(
+            f"unknown event bus {spec!r}; registered: {sorted(_EVENT_BUSES)}"
+        )
+    return factory()
+
+
+register_state_store("memory", InMemoryStateStore)
+register_state_store("sqlite", SQLiteStateStore)
+# Constructing the Redis store verifies the driver + server and raises
+# BackendUnavailable otherwise; the contract suite skips on that.
+register_state_store("redis", RedisStateStore)
+register_event_bus("direct", DirectEventBus)
+register_event_bus("buffered", BufferedEventBus)

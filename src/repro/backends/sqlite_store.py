@@ -1,0 +1,462 @@
+"""SQLite-backed :class:`StateStore` adapter.
+
+Subscription queues and conit accounting live in two tables:
+
+* ``subs(dyconit, sub_id, pos, b_num, b_stale, b_order, acc_error,
+  oldest, enqueued, merged)`` — one row per live subscription; ``pos``
+  is a store-global insertion counter so iteration order over a
+  dyconit's subscriptions equals legacy dict insertion order.
+* ``pending(dyconit, sub_id, seq, mkey, time, blob)`` — one row per
+  queued update; ``seq`` is a store-global enqueue counter, and a
+  supersede deletes the old row before inserting the new one, so
+  ``ORDER BY seq`` reproduces the legacy delete-then-reinsert dict
+  order exactly (the property the sort-free drain relies on).
+
+Dyconit ids and merge keys are pickled to blobs (equal tuples of
+primitives pickle to equal bytes within a process); updates are pickled
+whole — world events are frozen dataclasses, so an unpickled update is
+value-equal to the committed one and encodes to identical packets.
+Floats round-trip exactly (``REAL`` is IEEE-754 binary64), and every
+read-modify-write performs the same Python float additions in the same
+order as the in-memory path, so the accounting is *bit*-compatible, not
+just approximately equal — the conformance suite and the SQLite fuzz
+twin assert as much.
+
+Persistence semantics: dropping a dyconit (or the whole system) deletes
+its rows, but a handle re-created over surviving rows *re-attaches* —
+``subscribe`` with an id that still owns a row resumes its queue and
+accounting instead of resetting them (subscriber callbacks are runtime
+objects and are never persisted).
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+from typing import Hashable
+
+from repro.backends.base import DyconitStateHandle, StateStore
+from repro.core.bounds import Bounds
+from repro.core.dyconit import EnqueueResult, SubscriptionState
+from repro.core.subscription import Subscriber
+from repro.core.update import Update
+
+
+def _blob(value) -> bytes:
+    return pickle.dumps(value, protocol=4)
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS subs (
+    dyconit BLOB NOT NULL,
+    sub_id INTEGER NOT NULL,
+    pos INTEGER NOT NULL,
+    b_num REAL NOT NULL,
+    b_stale REAL NOT NULL,
+    b_order REAL NOT NULL,
+    acc_error REAL NOT NULL,
+    oldest REAL,
+    enqueued INTEGER NOT NULL,
+    merged INTEGER NOT NULL,
+    PRIMARY KEY (dyconit, sub_id)
+);
+CREATE TABLE IF NOT EXISTS pending (
+    dyconit BLOB NOT NULL,
+    sub_id INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    mkey BLOB NOT NULL,
+    time REAL NOT NULL,
+    blob BLOB NOT NULL,
+    PRIMARY KEY (dyconit, sub_id, seq)
+);
+CREATE INDEX IF NOT EXISTS pending_by_key ON pending (dyconit, sub_id, mkey);
+"""
+
+
+class SQLiteStateStore(StateStore):
+    """Dyconit state in a SQLite database (``:memory:`` by default)."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        # The simulation is the single writer and owns durability at the
+        # run level; per-statement fsync would only distort benchmarks.
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._conn.executescript(_SCHEMA)
+        row = self._conn.execute("SELECT MAX(seq) FROM pending").fetchone()
+        self._seq = (row[0] or 0) + 1
+        row = self._conn.execute("SELECT MAX(pos) FROM subs").fetchone()
+        self._pos = (row[0] or 0) + 1
+
+    def create_dyconit_state(
+        self, dyconit_id: Hashable, *, merging: bool, flat: bool
+    ) -> "SQLiteDyconitState":
+        # ``flat`` is the S17 columnar fast path — a memory-layout
+        # optimization with no meaning here; the manager's legacy commit
+        # walk drives this handle instead.
+        return SQLiteDyconitState(self, dyconit_id, merging=merging)
+
+    def drop_dyconit_state(self, dyconit_id: Hashable) -> None:
+        dk = _blob(dyconit_id)
+        self._conn.execute("DELETE FROM subs WHERE dyconit = ?", (dk,))
+        self._conn.execute("DELETE FROM pending WHERE dyconit = ?", (dk,))
+
+    def next_seq(self) -> int:
+        seq, self._seq = self._seq, self._seq + 1
+        return seq
+
+    def next_pos(self) -> int:
+        pos, self._pos = self._pos, self._pos + 1
+        return pos
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class SQLiteSubscriptionView:
+    """A :class:`SubscriptionState`-compatible window onto one subs row.
+
+    Identity-stable (one per subscriber for the handle's lifetime), like
+    the S17 flat views; every access reads the database, every mutation
+    writes it — the row *is* the state.
+    """
+
+    __slots__ = ("_handle", "subscriber")
+
+    def __init__(self, handle: "SQLiteDyconitState", subscriber: Subscriber) -> None:
+        self._handle = handle
+        self.subscriber = subscriber
+
+    # -- row plumbing --------------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        return self._handle._store._conn
+
+    def _key(self) -> tuple[bytes, int]:
+        return (self._handle._dk, self.subscriber.subscriber_id)
+
+    def _row(self, columns: str):
+        return self._conn().execute(
+            f"SELECT {columns} FROM subs WHERE dyconit = ? AND sub_id = ?",
+            self._key(),
+        ).fetchone()
+
+    @property
+    def merging(self) -> bool:
+        return self._handle.merging
+
+    # -- bounds --------------------------------------------------------
+
+    @property
+    def bounds(self) -> Bounds:
+        row = self._row("b_num, b_stale, b_order")
+        if row is None:
+            return Bounds.INFINITE
+        return Bounds(row[0], row[1], row[2])
+
+    @bounds.setter
+    def bounds(self, bounds: Bounds) -> None:
+        self._conn().execute(
+            "UPDATE subs SET b_num = ?, b_stale = ?, b_order = ? "
+            "WHERE dyconit = ? AND sub_id = ?",
+            (bounds.numerical, bounds.staleness_ms, bounds.order, *self._key()),
+        )
+
+    # -- queue accounting ----------------------------------------------
+
+    @property
+    def accumulated_error(self) -> float:
+        row = self._row("acc_error")
+        return 0.0 if row is None else row[0]
+
+    @property
+    def oldest_pending_time(self) -> float | None:
+        row = self._row("oldest")
+        return None if row is None else row[0]
+
+    @property
+    def enqueued_count(self) -> int:
+        row = self._row("enqueued")
+        return 0 if row is None else row[0]
+
+    @property
+    def merged_count(self) -> int:
+        row = self._row("merged")
+        return 0 if row is None else row[0]
+
+    @property
+    def pending(self) -> dict[tuple, Update]:
+        dk, sub_id = self._key()
+        rows = self._conn().execute(
+            "SELECT mkey, blob FROM pending WHERE dyconit = ? AND sub_id = ? "
+            "ORDER BY seq",
+            (dk, sub_id),
+        ).fetchall()
+        return {pickle.loads(mkey): pickle.loads(blob) for mkey, blob in rows}
+
+    @property
+    def has_pending(self) -> bool:
+        return self.oldest_pending_time is not None
+
+    def oldest_age_ms(self, now: float) -> float:
+        oldest = self.oldest_pending_time
+        if oldest is None:
+            return 0.0
+        return now - oldest
+
+    def tripped_dimension(self, now: float) -> str | None:
+        row = self._row("acc_error, oldest, b_num, b_stale, b_order")
+        if row is None or row[1] is None:
+            return None
+        acc_error, oldest, b_num, b_stale, b_order = row
+        dk, sub_id = self._key()
+        (count,) = self._conn().execute(
+            "SELECT COUNT(*) FROM pending WHERE dyconit = ? AND sub_id = ?",
+            (dk, sub_id),
+        ).fetchone()
+        return Bounds(b_num, b_stale, b_order).tripped_dimension(
+            acc_error, now - oldest, count
+        )
+
+    def exceeds_bounds(self, now: float) -> bool:
+        return self.tripped_dimension(now) is not None
+
+    # -- mutation ------------------------------------------------------
+
+    def enqueue(self, update: Update) -> EnqueueResult:
+        conn = self._conn()
+        dk, sub_id = self._key()
+        row = self._row("acc_error, oldest, enqueued, merged")
+        if row is None:
+            raise KeyError(
+                f"subscriber {sub_id} is not subscribed to "
+                f"{self._handle.dyconit_id!r}"
+            )
+        acc_error, oldest, enqueued, merged = row
+        key = (
+            update.merge_key
+            if self._handle.merging
+            else (enqueued, update.merge_key)
+        )
+        mkey = _blob(key)
+        superseded = (
+            conn.execute(
+                "SELECT 1 FROM pending WHERE dyconit = ? AND sub_id = ? AND mkey = ?",
+                (dk, sub_id, mkey),
+            ).fetchone()
+            is not None
+        )
+        if superseded:
+            conn.execute(
+                "DELETE FROM pending WHERE dyconit = ? AND sub_id = ? AND mkey = ?",
+                (dk, sub_id, mkey),
+            )
+            merged += 1
+        conn.execute(
+            "INSERT INTO pending (dyconit, sub_id, seq, mkey, time, blob) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (dk, sub_id, self._handle._store.next_seq(), mkey, update.time,
+             _blob(update)),
+        )
+        became_pending = oldest is None
+        conn.execute(
+            "UPDATE subs SET acc_error = ?, oldest = ?, enqueued = ?, merged = ? "
+            "WHERE dyconit = ? AND sub_id = ?",
+            (
+                acc_error + update.weight,  # same float add as the legacy path
+                update.time if became_pending else oldest,
+                enqueued + 1,
+                merged,
+                dk,
+                sub_id,
+            ),
+        )
+        return EnqueueResult(superseded=superseded, became_pending=became_pending)
+
+    def drain(self) -> list[Update]:
+        conn = self._conn()
+        dk, sub_id = self._key()
+        rows = conn.execute(
+            "SELECT blob FROM pending WHERE dyconit = ? AND sub_id = ? ORDER BY seq",
+            (dk, sub_id),
+        ).fetchall()
+        conn.execute(
+            "DELETE FROM pending WHERE dyconit = ? AND sub_id = ?", (dk, sub_id)
+        )
+        conn.execute(
+            "UPDATE subs SET acc_error = 0.0, oldest = NULL "
+            "WHERE dyconit = ? AND sub_id = ?",
+            (dk, sub_id),
+        )
+        return [pickle.loads(blob) for (blob,) in rows]
+
+    def restore_time_order(self) -> None:
+        conn = self._conn()
+        dk, sub_id = self._key()
+        rows = conn.execute(
+            "SELECT seq, mkey, time, blob FROM pending "
+            "WHERE dyconit = ? AND sub_id = ? ORDER BY seq",
+            (dk, sub_id),
+        ).fetchall()
+        if not rows:
+            return
+        # Stable by time: equal-time entries keep their current order —
+        # the exact semantics of the legacy sorted() re-dict.
+        ordered = sorted(rows, key=lambda row: row[2])
+        conn.execute(
+            "DELETE FROM pending WHERE dyconit = ? AND sub_id = ?", (dk, sub_id)
+        )
+        for __, mkey, time, blob in ordered:
+            conn.execute(
+                "INSERT INTO pending (dyconit, sub_id, seq, mkey, time, blob) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (dk, sub_id, self._handle._store.next_seq(), mkey, time, blob),
+            )
+        first_time = ordered[0][2]
+        row = self._row("oldest")
+        if row[0] is None or first_time < row[0]:
+            conn.execute(
+                "UPDATE subs SET oldest = ? WHERE dyconit = ? AND sub_id = ?",
+                (first_time, dk, sub_id),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SQLiteSubscriptionView(subscriber={self.subscriber.subscriber_id}, "
+            f"dyconit={self._handle.dyconit_id!r})"
+        )
+
+
+class SQLiteDyconitState(DyconitStateHandle):
+    """One dyconit's subscriptions, resident in the store's database."""
+
+    def __init__(
+        self, store: SQLiteStateStore, dyconit_id: Hashable, merging: bool = True
+    ) -> None:
+        self._store = store
+        self.dyconit_id = dyconit_id
+        self._dk = _blob(dyconit_id)
+        self.merging = merging
+        self.default_bounds = Bounds.ZERO
+        self.total_committed_weight = 0.0
+        self.commit_count = 0
+        #: Runtime subscriber objects (delivery callbacks are not rows);
+        #: insertion-ordered, mirroring legacy dict order for iteration.
+        self._views: dict[int, SQLiteSubscriptionView] = {}
+
+    # -- subscription management ---------------------------------------
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._views)
+
+    def subscribers(self) -> list[Subscriber]:
+        return [view.subscriber for view in self._views.values()]
+
+    def subscription_states(self) -> list[SQLiteSubscriptionView]:
+        return list(self._views.values())
+
+    def is_subscribed(self, subscriber_id: int) -> bool:
+        return subscriber_id in self._views
+
+    def subscribe(
+        self, subscriber: Subscriber, bounds: Bounds | None = None
+    ) -> SQLiteSubscriptionView:
+        sub_id = subscriber.subscriber_id
+        view = self._views.get(sub_id)
+        if view is not None:
+            if bounds is not None:
+                view.bounds = bounds
+            return view
+        view = SQLiteSubscriptionView(self, subscriber)
+        self._views[sub_id] = view
+        conn = self._store._conn
+        row = conn.execute(
+            "SELECT 1 FROM subs WHERE dyconit = ? AND sub_id = ?",
+            (self._dk, sub_id),
+        ).fetchone()
+        if row is not None:
+            # Re-attach to a persisted subscription: the queue and its
+            # accounting survive a handle (or process) restart.
+            if bounds is not None:
+                view.bounds = bounds
+            return view
+        effective = bounds if bounds is not None else self.default_bounds
+        conn.execute(
+            "INSERT INTO subs (dyconit, sub_id, pos, b_num, b_stale, b_order, "
+            "acc_error, oldest, enqueued, merged) "
+            "VALUES (?, ?, ?, ?, ?, ?, 0.0, NULL, 0, 0)",
+            (
+                self._dk,
+                sub_id,
+                self._store.next_pos(),
+                effective.numerical,
+                effective.staleness_ms,
+                effective.order,
+            ),
+        )
+        return view
+
+    def unsubscribe(self, subscriber_id: int) -> SubscriptionState | None:
+        view = self._views.pop(subscriber_id, None)
+        if view is None:
+            return None
+        # Materialize the final state (the caller may still flush it),
+        # exactly like the flat store's unsubscribe.
+        state = SubscriptionState(
+            subscriber=view.subscriber,
+            bounds=view.bounds,
+            pending=dict(view.pending),
+            accumulated_error=view.accumulated_error,
+            oldest_pending_time=view.oldest_pending_time,
+            enqueued_count=view.enqueued_count,
+            merged_count=view.merged_count,
+            merging=self.merging,
+        )
+        conn = self._store._conn
+        conn.execute(
+            "DELETE FROM subs WHERE dyconit = ? AND sub_id = ?",
+            (self._dk, subscriber_id),
+        )
+        conn.execute(
+            "DELETE FROM pending WHERE dyconit = ? AND sub_id = ?",
+            (self._dk, subscriber_id),
+        )
+        return state
+
+    def get_state(self, subscriber_id: int) -> SQLiteSubscriptionView | None:
+        return self._views.get(subscriber_id)
+
+    def set_bounds(self, subscriber_id: int, bounds: Bounds) -> None:
+        view = self._views.get(subscriber_id)
+        if view is None:
+            raise KeyError(
+                f"subscriber {subscriber_id} is not subscribed to {self.dyconit_id}"
+            )
+        view.bounds = bounds
+
+    # -- commit path ---------------------------------------------------
+
+    def commit(
+        self, update: Update, exclude_subscriber: int | None = None
+    ) -> list[tuple[SQLiteSubscriptionView, EnqueueResult]]:
+        touched: list[tuple[SQLiteSubscriptionView, EnqueueResult]] = []
+        for subscriber_id, view in self._views.items():
+            if subscriber_id == exclude_subscriber:
+                continue
+            result = view.enqueue(update)
+            touched.append((view, result))
+        if touched:
+            # Hotness counts commits that enqueued for someone — same
+            # rule as the in-memory paths.
+            self.total_committed_weight += update.weight
+            self.commit_count += 1
+        return touched
+
+    def __repr__(self) -> str:
+        return (
+            f"SQLiteDyconitState({self.dyconit_id!r}, "
+            f"subscribers={self.subscriber_count}, commits={self.commit_count})"
+        )

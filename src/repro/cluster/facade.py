@@ -162,6 +162,9 @@ class ShardedCluster:
         self.pump_count = 0
         self._running = False
         self._pump_event = None
+        #: S19 control plane: queued retune ops are applied to every
+        #: shard atomically at the cluster pump (the cluster barrier).
+        self.control_plane = None
         self._audit_every_n_pumps = (
             self.config.audit_every_n_ticks
             or engine_module.AUDIT_DEFAULT_EVERY_N_TICKS
@@ -203,6 +206,8 @@ class ShardedCluster:
         if not self._running:
             return
         self.pump_count += 1
+        if self.control_plane is not None:
+            self.control_plane.apply(self, self.pump_count)
         delivered = self.bus.pump()
         telemetry = self.telemetry
         if telemetry.enabled:

@@ -22,6 +22,7 @@ import heapq
 import math
 from typing import Callable, Hashable, Iterator, Sequence
 
+from repro.backends.registry import create_event_bus, create_state_store
 from repro.core.bounds import Bounds
 from repro.core.dyconit import Dyconit, SubscriptionState
 from repro.core.partition import ChunkPartitioner, DyconitPartitioner
@@ -43,9 +44,20 @@ class DyconitSystem:
         merging_enabled: bool = True,
         telemetry: Telemetry | None = None,
         use_batched_commit: bool = True,
+        state_store=None,
+        event_bus=None,
     ) -> None:
         self.policy = policy
         self.partitioner = partitioner if partitioner is not None else ChunkPartitioner()
+        #: S19 backend seam: where per-dyconit subscription state lives.
+        #: Accepts a StateStore instance or a registry spec ("memory",
+        #: "sqlite", "sqlite:///path", "redis://..."); default is the
+        #: in-memory store, byte-identical to the pre-seam tree.
+        self.state_store = create_state_store(state_store)
+        #: S19 fan-out seam: flushed batches go through this bus. The
+        #: default direct bus delivers inline, exactly like the legacy
+        #: ``subscriber.deliver(...)`` call.
+        self.event_bus = create_event_bus(event_bus)
         #: E8(a) ablation switch; affects dyconits created after the change.
         self.merging_enabled = merging_enabled
         #: S17 toggle: new dyconits use the flat columnar subscription
@@ -122,7 +134,7 @@ class DyconitSystem:
     def get_or_create(self, dyconit_id: Hashable) -> Dyconit:
         dyconit = self._dyconits.get(dyconit_id)
         if dyconit is None:
-            dyconit = Dyconit(
+            dyconit = self.state_store.create_dyconit_state(
                 dyconit_id,
                 merging=self.merging_enabled,
                 flat=self.use_batched_commit,
@@ -153,6 +165,7 @@ class DyconitSystem:
             )
             if membership is not None:
                 membership.pop(dyconit_id, None)
+        self.state_store.drop_dyconit_state(dyconit_id)
         self.stats.dyconits_removed += 1
 
     def dyconits(self) -> Iterator[Dyconit]:
@@ -239,6 +252,7 @@ class DyconitSystem:
                         # sort-free drain relies on.
                         merged_state.restore_time_order()
                     self._push_deadline(target_id, merged_state)
+            self.state_store.drop_dyconit_state(source_id)
             self.stats.dyconits_removed += 1
         return target
 
@@ -553,8 +567,24 @@ class DyconitSystem:
                 flushed += 1
             else:
                 # Deadline moved (bounds loosened or queue drained and
-                # refilled); push the fresh deadline.
-                self._push_deadline(dyconit_id, state)
+                # refilled); push the fresh deadline — unless float
+                # arithmetic cannot place it in the future (a staleness
+                # bound so small that ``oldest + staleness <= now`` while
+                # ``now - oldest < staleness``, e.g. a subnormal from a
+                # multiplicatively-decayed or live-retuned bound). That
+                # deadline is due *now* for every representable purpose;
+                # re-pushing it would live-lock this loop.
+                oldest = state.oldest_pending_time
+                staleness = state.bounds.staleness_ms
+                if (
+                    oldest is not None
+                    and not math.isinf(staleness)
+                    and oldest + staleness <= now
+                ):
+                    self._deliver(dyconit_id, state, reason="staleness")
+                    flushed += 1
+                else:
+                    self._push_deadline(dyconit_id, state)
         return flushed
 
     def _push_deadline(self, dyconit_id: Hashable, state: SubscriptionState) -> None:
@@ -625,4 +655,4 @@ class DyconitSystem:
                 now, "flush", dyconit_id, state.subscriber.subscriber_id,
                 detail=f"reason={reason} updates={len(updates)}",
             )
-        state.subscriber.deliver(dyconit_id, updates)
+        self.event_bus.publish(dyconit_id, state.subscriber, updates)

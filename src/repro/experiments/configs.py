@@ -103,6 +103,9 @@ class ExperimentConfig:
     #: per-tick ``commit_many`` bursts). Off = the legacy per-object
     #: commit path, kept as packet-identical differential ground truth.
     use_batched_commit: bool = True
+    #: S19 storage backend spec for dyconit subscription state
+    #: ("memory", "sqlite", "sqlite:///path", "redis://...").
+    state_store: str = "memory"
     #: Sharded world (S16): number of logical shards. 1 = the classic
     #: single-server path; N > 1 runs a :class:`ShardedCluster` with
     #: cross-shard dyconit federation (requires a dyconit policy).
@@ -161,6 +164,7 @@ class ExperimentConfig:
             faults=self.faults,
             audit_every_n_ticks=self.audit_every_n_ticks,
             use_batched_commit=self.use_batched_commit,
+            state_store=self.state_store,
             seed=self.seed,
         )
 

@@ -49,8 +49,8 @@ from repro.telemetry.hub import Telemetry, get_telemetry, set_telemetry
 #: masquerade as current ones. /2: configs grew shards/strip_width and
 #: results grew the S16 cluster counters. /3: configs grew the S17
 #: use_batched_commit toggle. /4: configs grew the S18 parallel_ticks
-#: toggle.
-CACHE_SCHEMA = "sweep-cell/4"
+#: toggle. /5: configs grew the S19 state_store spec.
+CACHE_SCHEMA = "sweep-cell/5"
 
 
 def default_start_method() -> str:

@@ -1,0 +1,42 @@
+"""Optional FastAPI wrapper around :class:`GatewayCore` (S19).
+
+The repo's CI image ships without FastAPI, so this module import-gates
+it behind :class:`~repro.backends.base.BackendUnavailable` — the same
+convention as the Redis store. With FastAPI installed::
+
+    from repro.gateway.fastapi_app import create_app
+    app = create_app(GatewayCore(server))   # uvicorn repro...:app
+
+Route behaviour is byte-identical to the stdlib app: both shovel
+through :meth:`GatewayCore.handle`.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import BackendUnavailable
+from repro.gateway.core import GatewayCore
+
+
+def create_app(core: GatewayCore):
+    """Build a FastAPI app over *core*; raises BackendUnavailable without it."""
+    try:
+        from fastapi import FastAPI, Request, Response
+    except ImportError as exc:  # pragma: no cover — CI image has no fastapi
+        raise BackendUnavailable(
+            "fastapi is not installed; use repro.gateway.app (stdlib) instead"
+        ) from exc
+
+    app = FastAPI(title="repro gateway")
+
+    @app.get("/{path:path}")
+    async def get(path: str):  # pragma: no cover — exercised only with fastapi
+        status, content_type, body = core.handle("GET", "/" + path)
+        return Response(content=body, status_code=status, media_type=content_type)
+
+    @app.put("/{path:path}")
+    async def put(path: str, request: Request):  # pragma: no cover
+        body = await request.body()
+        status, content_type, payload = core.handle("PUT", "/" + path, body)
+        return Response(content=payload, status_code=status, media_type=content_type)
+
+    return app

@@ -41,6 +41,11 @@ class ServerConfig:
     #: Off = the legacy per-object commit path, kept as differential
     #: ground truth; the two are packet-for-packet identical.
     use_batched_commit: bool = True
+    #: S19 storage backend for dyconit subscription state: a registry
+    #: spec ("memory", "sqlite", "sqlite:///path", "redis://...").
+    #: "memory" is byte-identical to the pre-seam engine; other stores
+    #: route through the legacy per-object commit path.
+    state_store: str = "memory"
     #: Fleet-wide fault plan applied to every client link (None = no
     #: fault layer; per-client plans can be passed to ``connect``).
     faults: FaultPlan | None = None

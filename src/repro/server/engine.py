@@ -132,7 +132,11 @@ class GameServer:
                 time_source=lambda: sim.now,
                 telemetry=self.telemetry,
                 use_batched_commit=self.use_batched_commit,
+                state_store=self.config.state_store,
             )
+        #: S19 control plane: when attached, queued retune ops are applied
+        #: atomically at the top of each tick (the tick barrier).
+        self.control_plane = None
 
         self.sessions: dict[int, PlayerSession] = {}
         self._client_by_entity: dict[int, int] = {}
@@ -502,6 +506,11 @@ class GameServer:
         it too, so both drivers run byte-identical phase sequences.
         """
         self.tick_count += 1
+
+        # 0. Control plane (S19): apply queued retune ops atomically at
+        #    the tick barrier, before any phase observes bounds/policy.
+        if self.control_plane is not None:
+            self.control_plane.apply(self, self.tick_count)
 
         bytes_before = self.transport.total_bytes()
         messages_before = self.messages_sent

@@ -1,0 +1,544 @@
+"""Backend-conformance suite (S19).
+
+One contract, every registered backend: each test runs against every
+:func:`~repro.backends.registry.state_store_factories` entry (and the
+event-bus tests against every bus), so a new adapter is under the full
+contract the moment it registers. Backends whose driver or service is
+absent in this environment (e.g. Redis without ``REPRO_REDIS_URL``)
+raise :class:`BackendUnavailable` and skip — honestly, per test.
+
+The contract is *the in-memory semantics*, bit-for-bit:
+
+* enqueue/drain replay order (commit order; supersede =
+  delete-then-reinsert, so a merged survivor drains at its new commit
+  position);
+* accounting (conservative accumulated error as the same float-add
+  sequence, enqueued/merged counts, became-pending edges, oldest
+  pending time);
+* bounds surface (settable live, tripped-dimension checks on all three
+  TACT axes);
+* repartition epoch safety (merge/split through the manager with the
+  invariant auditor watching);
+* and a scripted lockstep differential against the in-memory store at
+  both the handle level and the full :class:`DyconitSystem` level.
+"""
+
+import math
+
+import pytest
+
+from repro.backends import BackendUnavailable, state_store_factories
+from repro.backends.memory import InMemoryStateStore
+from repro.core.bounds import Bounds
+from repro.core.invariants import InvariantAuditor
+from repro.core.manager import DyconitSystem
+from repro.core.partition import ChunkPartitioner
+from repro.core.policy import Policy
+from repro.world.block import BlockType
+from repro.world.events import BlockChangeEvent, EntityMoveEvent
+from repro.world.geometry import BlockPos, Vec3
+
+from tests.conftest import RecordingSubscriber
+
+WIDE = Bounds(1e9, 1e9)
+
+
+class StaticPolicy(Policy):
+    def __init__(self, bounds=WIDE):
+        self.bounds = bounds
+
+    def initial_bounds(self, system, dyconit_id, subscriber):
+        return self.bounds
+
+
+def move(entity_id=1, time=0.0, x=0.0, distance=1.0):
+    return EntityMoveEvent(
+        time, entity_id, Vec3(x, 0, 0), Vec3(x + distance, 0, 0)
+    )
+
+
+def block(x=0, time=0.0, new=BlockType.STONE):
+    return BlockChangeEvent(time, BlockPos(x, 10, 0), BlockType.AIR, new)
+
+
+@pytest.fixture(params=sorted(state_store_factories()))
+def store(request):
+    """Every registered state store, skipping the unavailable ones."""
+    try:
+        store = state_store_factories()[request.param]()
+    except BackendUnavailable as exc:
+        pytest.skip(f"{request.param}: {exc}")
+    yield store
+    store.close()
+
+
+def make_handle(store, dyconit_id=("chunk", 0, 0), merging=True, flat=False):
+    return store.create_dyconit_state(dyconit_id, merging=merging, flat=flat)
+
+
+def subscribed(handle, subscriber_id=1, bounds=WIDE):
+    recorder = RecordingSubscriber(subscriber_id)
+    state = handle.subscribe(recorder.subscriber, bounds)
+    return recorder, state
+
+
+# ---------------------------------------------------------------------------
+# Subscription lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSubscriptionLifecycle:
+    def test_subscribe_and_introspect(self, store):
+        handle = make_handle(store)
+        assert handle.subscriber_count == 0
+        recorder, state = subscribed(handle)
+        assert handle.subscriber_count == 1
+        assert handle.is_subscribed(1)
+        assert not handle.is_subscribed(2)
+        assert [s.subscriber_id for s in handle.subscribers()] == [1]
+        assert handle.get_state(1) is state
+        assert handle.get_state(99) is None
+
+    def test_state_objects_are_identity_stable(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        assert handle.get_state(1) is state
+        assert handle.subscription_states()[0] is state
+        assert handle.subscribe(state.subscriber) is state
+
+    def test_subscription_iteration_order_is_insertion_order(self, store):
+        handle = make_handle(store)
+        for sub_id in (3, 1, 2):
+            subscribed(handle, sub_id)
+        assert [s.subscriber.subscriber_id for s in handle.subscription_states()] == [
+            3, 1, 2,
+        ]
+
+    def test_unsubscribe_returns_final_state_with_backlog(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        state.enqueue(move(1, time=1.0))
+        state.enqueue(move(2, time=2.0))
+        final = handle.unsubscribe(1)
+        assert final is not None and final.has_pending
+        assert [u.time for u in final.drain()] == [1.0, 2.0]
+        assert not handle.is_subscribed(1)
+        assert handle.unsubscribe(1) is None
+
+    def test_resubscribe_after_unsubscribe_starts_fresh(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        state.enqueue(move(1, time=1.0))
+        handle.unsubscribe(1)
+        __, fresh = subscribed(handle)
+        assert not fresh.has_pending
+        assert fresh.accumulated_error == 0.0
+        assert fresh.enqueued_count == 0
+
+    def test_drop_dyconit_state_collects_persistence(self, store):
+        handle = make_handle(store, dyconit_id=("chunk", 7, 7))
+        __, state = subscribed(handle)
+        state.enqueue(move(1, time=1.0))
+        store.drop_dyconit_state(("chunk", 7, 7))
+        fresh = make_handle(store, dyconit_id=("chunk", 7, 7))
+        __, fresh_state = subscribed(fresh)
+        assert not fresh_state.has_pending
+        assert fresh_state.enqueued_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Queue semantics: ordering, supersede, accounting
+# ---------------------------------------------------------------------------
+
+
+class TestQueueSemantics:
+    def test_drain_replays_commit_order(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        for i in range(5):
+            state.enqueue(move(entity_id=i, time=float(i)))
+        assert [u.time for u in state.drain()] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert not state.has_pending
+        assert state.accumulated_error == 0.0
+        assert state.oldest_pending_time is None
+
+    def test_supersede_is_delete_then_reinsert(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        first = state.enqueue(move(1, time=1.0))
+        state.enqueue(move(2, time=2.0))
+        second = state.enqueue(move(1, time=3.0))
+        assert not first.superseded and second.superseded
+        assert state.merged_count == 1
+        # The survivor re-enters at its *new* commit position.
+        assert [u.time for u in state.drain()] == [2.0, 3.0]
+
+    def test_error_stays_conservative_across_merges(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        state.enqueue(move(1, distance=2.0))
+        state.enqueue(move(1, distance=3.0))
+        assert len(state.pending) == 1
+        assert state.accumulated_error == 5.0
+
+    def test_no_merging_keeps_duplicates(self, store):
+        handle = make_handle(store, merging=False)
+        __, state = subscribed(handle)
+        first = state.enqueue(move(1, time=1.0))
+        second = state.enqueue(move(1, time=2.0))
+        assert not first.superseded and not second.superseded
+        assert state.merged_count == 0
+        assert [u.time for u in state.drain()] == [1.0, 2.0]
+
+    def test_became_pending_edges(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        assert state.enqueue(move(1, time=5.0)).became_pending
+        assert not state.enqueue(move(2, time=6.0)).became_pending
+        state.drain()
+        assert state.enqueue(move(3, time=7.0)).became_pending
+
+    def test_oldest_pending_time_and_age(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        assert state.oldest_age_ms(now=10.0) == 0.0
+        state.enqueue(move(1, time=5.0))
+        state.enqueue(move(2, time=9.0))
+        assert state.oldest_pending_time == 5.0
+        assert state.oldest_age_ms(now=15.0) == 10.0
+
+    def test_restore_time_order_is_stable(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        state.enqueue(move(1, time=5.0))
+        state.enqueue(move(2, time=1.0))
+        state.enqueue(move(3, time=5.0))
+        state.restore_time_order()
+        assert state.oldest_pending_time == 1.0
+        drained = state.drain()
+        assert [u.time for u in drained] == [1.0, 5.0, 5.0]
+        # Stable: the two time-5 updates keep their enqueue order.
+        assert [u.entity_id for u in drained] == [2, 1, 3]
+
+    def test_updates_replay_value_equal(self, store):
+        """A drained update must encode exactly like the committed one."""
+        handle = make_handle(store)
+        __, state = subscribed(handle)
+        committed = [move(1, time=1.0, x=3.5), block(x=2, time=2.0)]
+        for update in committed:
+            state.enqueue(update)
+        assert state.drain() == committed
+
+
+# ---------------------------------------------------------------------------
+# Bounds surface
+# ---------------------------------------------------------------------------
+
+
+class TestBoundsSurface:
+    def test_bounds_settable_live(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle, bounds=Bounds(10.0, 1000.0))
+        assert state.bounds == Bounds(10.0, 1000.0)
+        state.bounds = Bounds(1.0, 50.0, 3.0)
+        assert state.bounds == Bounds(1.0, 50.0, 3.0)
+        handle.set_bounds(1, Bounds(2.0, 60.0))
+        assert state.bounds == Bounds(2.0, 60.0)
+
+    def test_tripped_dimensions(self, store):
+        handle = make_handle(store)
+        __, state = subscribed(handle, bounds=Bounds(2.5, 1000.0))
+        assert state.tripped_dimension(now=0.0) is None
+        state.enqueue(move(1, time=0.0, distance=3.0))
+        assert state.tripped_dimension(now=0.0) == "numerical"
+        state.bounds = Bounds(1e9, 100.0)
+        assert state.tripped_dimension(now=50.0) is None
+        assert state.tripped_dimension(now=200.0) == "staleness"
+        state.bounds = Bounds(1e9, 1e9, 0.5)
+        assert state.tripped_dimension(now=50.0) == "order"
+        assert state.exceeds_bounds(now=50.0)
+        state.drain()
+        assert state.tripped_dimension(now=200.0) is None
+
+
+# ---------------------------------------------------------------------------
+# Handle-level commit path
+# ---------------------------------------------------------------------------
+
+
+class TestCommitPath:
+    def test_commit_fans_out_in_subscription_order(self, store):
+        handle = make_handle(store)
+        subscribed(handle, 2)
+        subscribed(handle, 1)
+        touched = handle.commit(move(1, time=1.0))
+        assert [state.subscriber.subscriber_id for state, __ in touched] == [2, 1]
+        assert all(result.became_pending for __, result in touched)
+
+    def test_commit_excludes_originator(self, store):
+        handle = make_handle(store)
+        subscribed(handle, 1)
+        __, other = subscribed(handle, 2)
+        touched = handle.commit(move(1, time=1.0), exclude_subscriber=1)
+        assert [state.subscriber.subscriber_id for state, __ in touched] == [2]
+        assert other.has_pending
+        assert not handle.get_state(1).has_pending
+
+    def test_hotness_accounting_counts_touching_commits_only(self, store):
+        handle = make_handle(store)
+        assert handle.commit(move(1, time=1.0)) == []
+        assert handle.commit_count == 0
+        assert handle.total_committed_weight == 0.0
+        subscribed(handle, 1)
+        handle.commit(move(1, time=2.0, distance=2.0))
+        handle.commit(move(2, time=3.0, distance=3.0), exclude_subscriber=1)
+        assert handle.commit_count == 1
+        assert handle.total_committed_weight == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Lockstep differential against the in-memory store
+# ---------------------------------------------------------------------------
+
+#: A scripted op tape covering merge collisions, multi-subscriber fan-out,
+#: partial drains and mid-tape re-subscription.
+TAPE = (
+    ("sub", 1), ("sub", 2),
+    ("enq", 1, move(1, time=1.0, distance=2.0)),
+    ("enq", 1, move(2, time=2.0)),
+    ("enq", 1, move(1, time=3.0, distance=0.5)),
+    ("enq", 2, block(x=1, time=3.5)),
+    ("drain", 1),
+    ("enq", 1, move(3, time=4.0)),
+    ("enq", 2, block(x=1, time=4.5)),
+    ("unsub", 2),
+    ("sub", 3),
+    ("enq", 3, move(1, time=5.0)),
+    ("enq", 1, move(3, time=6.0, distance=4.0)),
+    ("drain", 3),
+    ("enq", 3, move(9, time=7.0)),
+)
+
+
+def observables(state, now=10.0):
+    return (
+        state.accumulated_error,
+        state.oldest_pending_time,
+        state.enqueued_count,
+        state.merged_count,
+        state.has_pending,
+        state.tripped_dimension(now),
+        [u for u in state.pending.values()],
+    )
+
+
+class TestLockstepDifferential:
+    def test_handle_matches_memory_after_every_op(self, store):
+        if isinstance(store, InMemoryStateStore):
+            pytest.skip("memory is the reference")
+        reference_store = InMemoryStateStore()
+        for merging in (True, False):
+            ref = make_handle(reference_store, ("d", merging), merging=merging)
+            handle = make_handle(store, ("d", merging), merging=merging)
+            states: dict[int, tuple] = {}
+            for op, sub_id, *rest in TAPE:
+                if op == "sub":
+                    states[sub_id] = (
+                        subscribed(ref, sub_id, Bounds(6.0, 500.0))[1],
+                        subscribed(handle, sub_id, Bounds(6.0, 500.0))[1],
+                    )
+                elif op == "unsub":
+                    ref.unsubscribe(sub_id)
+                    handle.unsubscribe(sub_id)
+                    states.pop(sub_id)
+                elif op == "enq":
+                    ref_result = states[sub_id][0].enqueue(rest[0])
+                    assert states[sub_id][1].enqueue(rest[0]) == ref_result
+                else:
+                    assert states[sub_id][1].drain() == states[sub_id][0].drain()
+                for ref_state, backend_state in states.values():
+                    assert observables(backend_state) == observables(ref_state)
+
+    def test_system_level_differential_with_repartitioning(self, store):
+        """Same scenario through two DyconitSystems — commits, bound
+        retunes, merge, split — delivering identical streams with the
+        invariant auditor at every step."""
+        if isinstance(store, InMemoryStateStore):
+            pytest.skip("memory is the reference")
+        auditor = InvariantAuditor()
+        clock = {"now": 0.0}
+
+        def run(backend):
+            system = DyconitSystem(
+                StaticPolicy(Bounds(3.0, 400.0)),
+                ChunkPartitioner(),
+                time_source=lambda: clock["now"],
+                state_store=backend,
+            )
+            recorders = [RecordingSubscriber(i) for i in (1, 2)]
+            a, b = ("chunk", 0, 0), ("chunk", 1, 0)
+            for recorder in recorders:
+                system.subscribe(a, recorder.subscriber)
+                system.subscribe(b, recorder.subscriber)
+
+            def checkpoint():
+                assert auditor.check(system) == []
+
+            clock["now"] = 10.0
+            system.commit_to(a, move(1, time=10.0, distance=2.0))
+            system.commit_to(b, move(2, time=10.0), exclude_subscriber=2)
+            checkpoint()
+            # Retune one subscription live: tightened numerical bound
+            # must flush the exceeded backlog immediately.
+            system.set_bounds(a, 1, Bounds(1.0, 400.0))
+            checkpoint()
+            # Merge the two chunks; backlog moves across queues.
+            merged = ("merged", 0)
+            system.merge_dyconits([a, b], merged)
+            checkpoint()
+            clock["now"] = 20.0
+            system.commit_to(a, move(3, time=20.0))  # routes via alias
+            checkpoint()
+            system.tick()
+            checkpoint()
+            # Split back; epoch bump must keep commits routed correctly.
+            system.split_dyconit(merged)
+            clock["now"] = 500.0
+            system.commit_to(b, move(2, time=500.0, distance=0.25))
+            system.tick()  # staleness flush at 400ms
+            checkpoint()
+            system.flush_all()
+            checkpoint()
+            return [
+                (recorder.subscriber.subscriber_id, recorder.deliveries)
+                for recorder in recorders
+            ], system.stats
+
+        mem_deliveries, mem_stats = run("memory")
+        backend_deliveries, backend_stats = run(store)
+        assert backend_deliveries == mem_deliveries
+        assert backend_stats == mem_stats
+
+
+# ---------------------------------------------------------------------------
+# Event-bus contract
+# ---------------------------------------------------------------------------
+
+
+def bus_cases():
+    from repro.backends import event_bus_factories
+
+    return sorted(event_bus_factories())
+
+
+@pytest.fixture(params=bus_cases())
+def bus(request):
+    from repro.backends import event_bus_factories
+
+    try:
+        bus = event_bus_factories()[request.param]()
+    except BackendUnavailable as exc:
+        pytest.skip(f"{request.param}: {exc}")
+    yield bus
+    bus.close()
+
+
+class TestEventBusContract:
+    def test_publish_order_per_subscriber_exactly_once(self, bus):
+        recorder = RecordingSubscriber(1)
+        batches = [
+            [move(1, time=1.0)],
+            [move(2, time=2.0), move(3, time=2.5)],
+            [block(x=1, time=3.0)],
+        ]
+        for i, batch in enumerate(batches):
+            bus.publish(("d", i % 2), recorder.subscriber, batch)
+        bus.drain()
+        assert recorder.deliveries == [
+            (("d", 0), batches[0]),
+            (("d", 1), batches[1]),
+            (("d", 0), batches[2]),
+        ]
+        # Exactly once: a second drain delivers nothing new.
+        bus.drain()
+        assert len(recorder.deliveries) == 3
+
+    def test_drain_returns_batch_count(self, bus):
+        recorder = RecordingSubscriber(1)
+        immediate = len(recorder.deliveries)
+        bus.publish(("d", 0), recorder.subscriber, [move(1, time=1.0)])
+        bus.publish(("d", 0), recorder.subscriber, [move(2, time=2.0)])
+        drained = bus.drain()
+        # Direct buses deliver inline (drain 0); buffered deliver here.
+        assert (drained, len(recorder.deliveries)) in {(0, 2), (2, 2)}
+        assert immediate == 0
+
+
+# ---------------------------------------------------------------------------
+# Engine-level differential: every backend vs memory, packet-for-packet
+# ---------------------------------------------------------------------------
+
+
+def run_engine_capture(store_spec: str):
+    from repro.bots.workload import BehaviorMix, Workload, WorkloadSpec
+    from repro.policies.adaptive import AdaptiveBoundsPolicy
+    from repro.server.config import ServerConfig
+    from repro.server.engine import GameServer
+    from repro.sim.simulator import Simulation
+    from repro.world.world import World
+
+    sim = Simulation()
+    server = GameServer(
+        sim,
+        world=World(seed=19),
+        config=ServerConfig(
+            seed=19,
+            synchronous_delivery=True,
+            mob_count=2,
+            audit_every_n_ticks=5,
+            state_store=store_spec,
+        ),
+        policy=AdaptiveBoundsPolicy(),
+    )
+    server.start()
+    workload = Workload(
+        sim,
+        server,
+        WorkloadSpec(
+            bots=5,
+            seed=19,
+            movement="hotspot",
+            behavior=BehaviorMix(build=0.1, dig=0.05, chat=0.01),
+            arrival_stagger_ms=40.0,
+        ),
+    )
+    captures: dict[str, list] = {}
+    original_connect = server.connect
+
+    def tapping_connect(name, handler, **kwargs):
+        log = captures.setdefault(name, [])
+
+        def tapped(delivered):
+            log.append(delivered.packet)
+            handler(delivered)
+
+        return original_connect(name, tapped, **kwargs)
+
+    server.connect = tapping_connect
+    workload.start()
+    sim.run_until(4_000.0)
+    return captures
+
+
+@pytest.mark.parametrize("name", sorted(state_store_factories()))
+def test_engine_packets_identical_to_memory(name):
+    if name == "memory":
+        pytest.skip("memory is the reference")
+    try:
+        backend = run_engine_capture(name)
+    except BackendUnavailable as exc:
+        pytest.skip(f"{name}: {exc}")
+    reference = run_engine_capture("memory")
+    assert set(backend) == set(reference)
+    for client in reference:
+        assert backend[client] == reference[client], f"stream diverged for {client}"

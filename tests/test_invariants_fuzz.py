@@ -95,6 +95,12 @@ class DyconitMachine(RuleBasedStateMachine):
     #: path (including the I9 replay audit after every step); the legacy
     #: twin below pins the per-object ground truth with the same rules.
     USE_BATCHED_COMMIT = True
+    #: S19 backend seam — the spec handed to the StateStore registry.
+    #: Twins below drive the same rules through the SQLite adapter, so
+    #: every observable (auditor catalogue, bit-exact reference model,
+    #: staleness liveness) is enforced on the protocol surface rather
+    #: than on any concrete class.
+    STATE_STORE = "memory"
 
     def __init__(self):
         super().__init__()
@@ -105,6 +111,7 @@ class DyconitMachine(RuleBasedStateMachine):
             ChunkPartitioner(),
             time_source=lambda: self.now,
             use_batched_commit=self.USE_BATCHED_COMMIT,
+            state_store=self.STATE_STORE,
         )
         self.subscribers: dict[int, Subscriber] = {}
         #: Reference model: (dyconit_id, subscriber_id) -> merge_key ->
@@ -421,6 +428,20 @@ class LegacyDyconitMachine(DyconitMachine):
     USE_BATCHED_COMMIT = False
 
 
+class SQLiteDyconitMachine(DyconitMachine):
+    """Same rules with every queue resident in SQLite (S19).
+
+    ``use_batched_commit`` stays on at the config level, but the SQLite
+    handles expose no columnar mode (``_flat is None``) so the manager
+    drives them through the legacy commit walk — exactly how a real
+    server configured with ``state_store="sqlite"`` runs. The bit-exact
+    reference model makes this a float-for-float conformance fuzz of
+    the adapter's accounting.
+    """
+
+    STATE_STORE = "sqlite"
+
+
 TestDyconitFuzz = DyconitMachine.TestCase
 TestDyconitFuzz.settings = settings(
     max_examples=30, stateful_step_count=30, deadline=None
@@ -428,6 +449,11 @@ TestDyconitFuzz.settings = settings(
 
 TestLegacyDyconitFuzz = LegacyDyconitMachine.TestCase
 TestLegacyDyconitFuzz.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+
+TestSQLiteDyconitFuzz = SQLiteDyconitMachine.TestCase
+TestSQLiteDyconitFuzz.settings = settings(
     max_examples=15, stateful_step_count=30, deadline=None
 )
 
