@@ -13,8 +13,12 @@ from repro.backends.base import (
     DyconitStateHandle,
     EventBus,
     StateStore,
+    SubscriptionSnapshot,
+    snapshot_subscription,
 )
 from repro.backends.memory import BufferedEventBus, DirectEventBus, InMemoryStateStore
+from repro.backends.pipeline import SpoolConsumer, SpoolEventBus
+from repro.backends.postgres_store import POSTGRES_URL_ENV, PostgresStateStore
 from repro.backends.redis_store import REDIS_URL_ENV, RedisStateStore
 from repro.backends.registry import (
     create_event_bus,
@@ -33,14 +37,20 @@ __all__ = [
     "DyconitStateHandle",
     "EventBus",
     "InMemoryStateStore",
+    "POSTGRES_URL_ENV",
+    "PostgresStateStore",
     "REDIS_URL_ENV",
     "RedisStateStore",
     "SQLiteStateStore",
+    "SpoolConsumer",
+    "SpoolEventBus",
     "StateStore",
+    "SubscriptionSnapshot",
     "create_event_bus",
     "create_state_store",
     "event_bus_factories",
     "register_event_bus",
     "register_state_store",
+    "snapshot_subscription",
     "state_store_factories",
 ]

@@ -30,9 +30,11 @@ of the protocol, not an accident of the in-memory implementation.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.bounds import Bounds
     from repro.core.subscription import Subscriber
     from repro.core.update import Update
 
@@ -44,6 +46,52 @@ class BackendUnavailable(RuntimeError):
     registered backend may legitimately be absent from a given
     environment (e.g. the Redis adapter without a ``REPRO_REDIS_URL``).
     """
+
+
+@dataclass
+class SubscriptionSnapshot:
+    """Backend-neutral record of one (dyconit, subscriber) subscription.
+
+    Captured by :func:`snapshot_subscription` from any backend's
+    subscription-state object and replayed into any backend through
+    :meth:`DyconitStateHandle.restore_subscription` — the restart
+    contract (S20) moves accounting across store instances (and across
+    backends) through this one shape. ``pending`` keeps *(merge key,
+    update)* pairs in queue order so a restored drain emits the same
+    updates in the same order; the float fields are copied verbatim so
+    restored accounting is bit-equal, never recomputed (recomputing
+    ``accumulated_error`` from the surviving pending updates would lose
+    the weight of superseded ones).
+    """
+
+    subscriber_id: int
+    bounds: "Bounds"
+    pending: list[tuple[Hashable, "Update"]]
+    accumulated_error: float
+    oldest_pending_time: float | None
+    enqueued_count: int
+    merged_count: int
+    merging: bool
+
+
+def snapshot_subscription(state) -> SubscriptionSnapshot:
+    """Capture one subscription state through the common surface.
+
+    Works on every backend's state object (``SubscriptionState``, the
+    SQLite/Redis/Postgres row views, columnar flat views) because the
+    contract suite already requires all of them to expose these exact
+    attributes.
+    """
+    return SubscriptionSnapshot(
+        subscriber_id=state.subscriber.subscriber_id,
+        bounds=state.bounds,
+        pending=list(state.pending.items()),
+        accumulated_error=state.accumulated_error,
+        oldest_pending_time=state.oldest_pending_time,
+        enqueued_count=state.enqueued_count,
+        merged_count=state.merged_count,
+        merging=state.merging,
+    )
 
 
 class DyconitStateHandle(abc.ABC):
@@ -115,6 +163,22 @@ class DyconitStateHandle(abc.ABC):
         across queues. Handles without a columnar mode need no work.
         """
 
+    def restore_subscription(self, subscriber: "Subscriber", snap: SubscriptionSnapshot):
+        """Recreate a subscription exactly as a snapshot recorded it.
+
+        The restart path (S20): ``subscriber`` is the *fresh runtime*
+        callback object (delivery handlers are never persisted) while
+        ``snap`` carries the durable half — queue contents, bounds and
+        accounting, restored bit-for-bit rather than replayed through
+        :meth:`~repro.core.dyconit.SubscriptionState.enqueue` (which
+        would recompute ``accumulated_error`` without the superseded
+        updates' weights). Must not be called for an already-subscribed
+        id; returns the new subscription-state object.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support subscription restore"
+        )
+
 
 class StateStore(abc.ABC):
     """Factory and lifecycle owner of dyconit state handles.
@@ -143,8 +207,50 @@ class StateStore(abc.ABC):
     def drop_dyconit_state(self, dyconit_id: Hashable) -> None:
         """The manager removed this dyconit (or merged it away)."""
 
+    def reset(self) -> None:
+        """Delete every dyconit row this store can see (checkpoints stay).
+
+        Persistent/shared backends (a file, a Redis or Postgres server)
+        may hold rows from an earlier run under the same namespace; the
+        restore path wipes them before replaying a checkpoint so stale
+        rows — including rows written *after* the checkpoint by a run
+        that was later killed — can never leak into the resumed run.
+        The in-memory store starts empty, so the default is a no-op.
+        """
+
+    def save_checkpoint(self, key: str, blob: bytes) -> None:
+        """Durably store an opaque checkpoint blob under ``key``.
+
+        Overwrites any previous blob with the same key. Persistent
+        stores must write this atomically with respect to process death
+        (a killed writer leaves either the old or the new blob, never a
+        torn one). The default keeps blobs in-process — correct for the
+        memory store, whose whole point is no durability.
+        """
+        self._memory_checkpoints()[key] = bytes(blob)
+
+    def load_checkpoint(self, key: str) -> bytes | None:
+        """Return the blob stored under ``key``, or ``None``."""
+        return self._memory_checkpoints().get(key)
+
+    def checkpoint_keys(self) -> list[str]:
+        """All stored checkpoint keys, oldest first."""
+        return list(self._memory_checkpoints())
+
+    def _memory_checkpoints(self) -> dict[str, bytes]:
+        store = getattr(self, "_checkpoints", None)
+        if store is None:
+            store = self._checkpoints = {}
+        return store
+
     def close(self) -> None:
         """Release backend resources (connections, files)."""
+
+    def __enter__(self) -> "StateStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class EventBus(abc.ABC):

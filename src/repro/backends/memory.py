@@ -74,8 +74,19 @@ class BufferedEventBus(EventBus):
         # is a true barrier.
         while self._queue:
             batch, self._queue = self._queue, []
-            for dyconit_id, subscriber, updates in batch:
-                subscriber.deliver(dyconit_id, updates)
+            for index, (dyconit_id, subscriber, updates) in enumerate(batch):
+                try:
+                    subscriber.deliver(dyconit_id, updates)
+                except BaseException:
+                    # A failed delivery must not lose the detached tail:
+                    # re-queue everything not yet delivered (including
+                    # the failed batch, so the caller can retry it)
+                    # ahead of anything published *during* this drain,
+                    # preserving publish order, and keep the counter
+                    # honest about the successes before re-raising.
+                    self._queue[:0] = batch[index:]
+                    self.delivered += delivered
+                    raise
                 delivered += 1
         self.delivered += delivered
         return delivered

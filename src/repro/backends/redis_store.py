@@ -26,7 +26,12 @@ import os
 import pickle
 from typing import Hashable
 
-from repro.backends.base import BackendUnavailable, DyconitStateHandle, StateStore
+from repro.backends.base import (
+    BackendUnavailable,
+    DyconitStateHandle,
+    StateStore,
+    SubscriptionSnapshot,
+)
 from repro.core.bounds import Bounds
 from repro.core.dyconit import EnqueueResult, SubscriptionState
 from repro.core.subscription import Subscriber
@@ -115,6 +120,45 @@ class RedisStateStore(StateStore):
                 self._index_key(dk, sub),
             )
         self._r.delete(self._pos_key(dk))
+
+    # -- restart surface (S20) -----------------------------------------
+
+    def _ckpt_hash(self) -> str:
+        return f"{self._ns}:ckpt"
+
+    def _ckpt_order(self) -> str:
+        return f"{self._ns}:ckptord"
+
+    def reset(self) -> None:
+        """Wipe all dyconit keys in this namespace; checkpoints survive.
+
+        Also the cleanup a test must run before relying on a clean
+        slate: the namespace is shared server state, so rows from an
+        earlier run re-attach silently otherwise.
+        """
+        keep = (self._ckpt_hash(), self._ckpt_order())
+        stale = [
+            key
+            for key in self._r.scan_iter(match=f"{self._ns}:*")
+            if key.decode() not in keep
+        ]
+        if stale:
+            self._r.delete(*stale)
+        self._seq = 1
+        self._pos = 1
+
+    def save_checkpoint(self, key: str, blob: bytes) -> None:
+        pipe = self._r.pipeline(transaction=True)
+        pipe.hset(self._ckpt_hash(), key, blob)
+        pipe.zadd(self._ckpt_order(), {key: self._r.incr(f"{self._ns}:ckptseq")},
+                  nx=True)
+        pipe.execute()
+
+    def load_checkpoint(self, key: str) -> bytes | None:
+        return self._r.hget(self._ckpt_hash(), key)
+
+    def checkpoint_keys(self) -> list[str]:
+        return [key.decode() for key in self._r.zrange(self._ckpt_order(), 0, -1)]
 
     def close(self) -> None:
         self._r.close()
@@ -353,6 +397,47 @@ class RedisDyconitState(DyconitStateHandle):
 
     def get_state(self, subscriber_id: int) -> RedisSubscriptionView | None:
         return self._views.get(subscriber_id)
+
+    def restore_subscription(
+        self, subscriber: Subscriber, snap: SubscriptionSnapshot
+    ) -> RedisSubscriptionView:
+        """Write one snapshot back as keys — floats verbatim, queue order
+        reproduced with fresh seqs (see :class:`SubscriptionSnapshot`)."""
+        sub_id = subscriber.subscriber_id
+        if sub_id in self._views:
+            raise ValueError(
+                f"subscriber {sub_id} already subscribed to {self.dyconit_id!r}"
+            )
+        store = self._store
+        hk = store._hash_key(self._dkh, sub_id)
+        qk = store._queue_key(self._dkh, sub_id)
+        ik = store._index_key(self._dkh, sub_id)
+        store._r.delete(hk, qk, ik)
+        store._r.hset(
+            hk,
+            mapping={
+                "b_num": snap.bounds.numerical,
+                "b_stale": snap.bounds.staleness_ms,
+                "b_order": snap.bounds.order,
+                # repr() round-trips binary64 exactly (shortest-repr),
+                # matching how enqueue writes these fields.
+                "acc_error": snap.accumulated_error,
+                "oldest": (
+                    "" if snap.oldest_pending_time is None
+                    else snap.oldest_pending_time
+                ),
+                "enqueued": snap.enqueued_count,
+                "merged": snap.merged_count,
+            },
+        )
+        store._r.zadd(store._pos_key(self._dkh), {str(sub_id): store.next_pos()})
+        for key, update in snap.pending:
+            member = _blob((key, update))
+            store._r.zadd(qk, {member: store.next_seq()})
+            store._r.hset(ik, _blob(key), member)
+        view = RedisSubscriptionView(self, subscriber)
+        self._views[sub_id] = view
+        return view
 
     def set_bounds(self, subscriber_id: int, bounds: Bounds) -> None:
         view = self._views.get(subscriber_id)

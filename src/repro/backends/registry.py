@@ -9,7 +9,13 @@ a **spec** — either an already-constructed backend instance or a string:
 * ``"sqlite:///path/to.db"`` — SQLite store on disk;
 * ``"redis"`` / ``"redis://host:port/db"`` — Redis store (requires the
   client package and a reachable server, else
-  :class:`~repro.backends.base.BackendUnavailable`).
+  :class:`~repro.backends.base.BackendUnavailable`);
+* ``"postgres"`` / ``"postgres://..."`` / ``"postgresql://..."`` —
+  Postgres store (same gating, via ``REPRO_POSTGRES_URL`` or the URL).
+
+Event buses: ``"direct"``, ``"buffered"``, and ``"spool:///path.db"`` —
+a :class:`~repro.backends.pipeline.SpoolEventBus` teeing deliveries
+into a durable spool for an out-of-process consumer.
 
 The conformance suite iterates :func:`state_store_factories` /
 :func:`event_bus_factories`, so registering a new adapter is all it
@@ -22,6 +28,7 @@ from typing import Callable
 
 from repro.backends.base import EventBus, StateStore
 from repro.backends.memory import BufferedEventBus, DirectEventBus, InMemoryStateStore
+from repro.backends.postgres_store import PostgresStateStore
 from repro.backends.redis_store import RedisStateStore
 from repro.backends.sqlite_store import SQLiteStateStore
 
@@ -57,6 +64,8 @@ def create_state_store(spec: "StateStore | str | None") -> StateStore:
         return SQLiteStateStore(spec[len("sqlite:///"):])
     if spec.startswith("redis://"):
         return RedisStateStore(url=spec)
+    if spec.startswith(("postgres://", "postgresql://")):
+        return PostgresStateStore(url=spec)
     factory = _STATE_STORES.get(spec)
     if factory is None:
         raise ValueError(
@@ -71,6 +80,10 @@ def create_event_bus(spec: "EventBus | str | None") -> EventBus:
         spec = "direct"
     if isinstance(spec, EventBus):
         return spec
+    if spec.startswith("spool:///"):
+        from repro.backends.pipeline import SpoolEventBus
+
+        return SpoolEventBus(spec[len("spool:///"):])
     factory = _EVENT_BUSES.get(spec)
     if factory is None:
         raise ValueError(
@@ -81,8 +94,10 @@ def create_event_bus(spec: "EventBus | str | None") -> EventBus:
 
 register_state_store("memory", InMemoryStateStore)
 register_state_store("sqlite", SQLiteStateStore)
-# Constructing the Redis store verifies the driver + server and raises
-# BackendUnavailable otherwise; the contract suite skips on that.
+# Constructing the Redis/Postgres stores verifies the driver + server
+# and raises BackendUnavailable otherwise; the contract suite skips on
+# that.
 register_state_store("redis", RedisStateStore)
+register_state_store("postgres", PostgresStateStore)
 register_event_bus("direct", DirectEventBus)
 register_event_bus("buffered", BufferedEventBus)

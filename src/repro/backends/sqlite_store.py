@@ -27,6 +27,14 @@ its rows, but a handle re-created over surviving rows *re-attaches* —
 ``subscribe`` with an id that still owns a row resumes its queue and
 accounting instead of resetting them (subscriber callbacks are runtime
 objects and are never persisted).
+
+The connection runs in autocommit (``isolation_level=None``): the
+default driver mode opens an implicit transaction on the first write
+and this store never called ``commit()``, so a file-backed store used
+to silently roll back *everything* when the connection closed — data
+only looked durable because re-attach tests shared the connection.
+Checkpoint writes get an explicit ``BEGIN IMMEDIATE … COMMIT`` so a
+process killed mid-save leaves the old blob, never a torn one.
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ import pickle
 import sqlite3
 from typing import Hashable
 
-from repro.backends.base import DyconitStateHandle, StateStore
+from repro.backends.base import DyconitStateHandle, StateStore, SubscriptionSnapshot
 from repro.core.bounds import Bounds
 from repro.core.dyconit import EnqueueResult, SubscriptionState
 from repro.core.subscription import Subscriber
@@ -70,6 +78,11 @@ CREATE TABLE IF NOT EXISTS pending (
     PRIMARY KEY (dyconit, sub_id, seq)
 );
 CREATE INDEX IF NOT EXISTS pending_by_key ON pending (dyconit, sub_id, mkey);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    key TEXT PRIMARY KEY,
+    ord INTEGER NOT NULL,
+    blob BLOB NOT NULL
+);
 """
 
 
@@ -80,7 +93,14 @@ class SQLiteStateStore(StateStore):
 
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
-        self._conn = sqlite3.connect(path)
+        # Autocommit: the driver's default implicit-transaction mode
+        # would roll every write back at close (nothing here commits).
+        # check_same_thread=False: the gateway serves GET /store from
+        # its HTTP thread while the simulation owns all writes; SQLite's
+        # serialized threading mode makes the shared connection safe for
+        # that single-writer/concurrent-reader split.
+        self._conn = sqlite3.connect(path, isolation_level=None, check_same_thread=False)
+        self._closed = False
         # The simulation is the single writer and owns durability at the
         # run level; per-statement fsync would only distort benchmarks.
         self._conn.execute("PRAGMA synchronous=OFF")
@@ -111,7 +131,57 @@ class SQLiteStateStore(StateStore):
         pos, self._pos = self._pos, self._pos + 1
         return pos
 
+    # -- restart surface (S20) -----------------------------------------
+
+    def reset(self) -> None:
+        """Wipe all dyconit rows; checkpoints survive.
+
+        Restore runs this first so rows written *after* a checkpoint by
+        a later-killed run can never leak into the resumed one.
+        """
+        self._conn.execute("DELETE FROM subs")
+        self._conn.execute("DELETE FROM pending")
+        self._seq = 1
+        self._pos = 1
+
+    def save_checkpoint(self, key: str, blob: bytes) -> None:
+        conn = self._conn
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                "SELECT ord FROM checkpoints WHERE key = ?", (key,)
+            ).fetchone()
+            if row is not None:
+                conn.execute(
+                    "UPDATE checkpoints SET blob = ? WHERE key = ?", (blob, key)
+                )
+            else:
+                (top,) = conn.execute("SELECT MAX(ord) FROM checkpoints").fetchone()
+                conn.execute(
+                    "INSERT INTO checkpoints (key, ord, blob) VALUES (?, ?, ?)",
+                    (key, (top or 0) + 1, blob),
+                )
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+
+    def load_checkpoint(self, key: str) -> bytes | None:
+        row = self._conn.execute(
+            "SELECT blob FROM checkpoints WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def checkpoint_keys(self) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT key FROM checkpoints ORDER BY ord"
+        ).fetchall()
+        return [key for (key,) in rows]
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._conn.close()
 
 
@@ -428,6 +498,51 @@ class SQLiteDyconitState(DyconitStateHandle):
 
     def get_state(self, subscriber_id: int) -> SQLiteSubscriptionView | None:
         return self._views.get(subscriber_id)
+
+    def restore_subscription(
+        self, subscriber: Subscriber, snap: SubscriptionSnapshot
+    ) -> SQLiteSubscriptionView:
+        """Write one snapshot back as rows — floats verbatim, queue order
+        reproduced with fresh seqs (see :class:`SubscriptionSnapshot`)."""
+        sub_id = subscriber.subscriber_id
+        if sub_id in self._views:
+            raise ValueError(
+                f"subscriber {sub_id} already subscribed to {self.dyconit_id!r}"
+            )
+        conn = self._store._conn
+        conn.execute(
+            "DELETE FROM subs WHERE dyconit = ? AND sub_id = ?", (self._dk, sub_id)
+        )
+        conn.execute(
+            "DELETE FROM pending WHERE dyconit = ? AND sub_id = ?", (self._dk, sub_id)
+        )
+        conn.execute(
+            "INSERT INTO subs (dyconit, sub_id, pos, b_num, b_stale, b_order, "
+            "acc_error, oldest, enqueued, merged) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                self._dk,
+                sub_id,
+                self._store.next_pos(),
+                snap.bounds.numerical,
+                snap.bounds.staleness_ms,
+                snap.bounds.order,
+                snap.accumulated_error,
+                snap.oldest_pending_time,
+                snap.enqueued_count,
+                snap.merged_count,
+            ),
+        )
+        for key, update in snap.pending:
+            conn.execute(
+                "INSERT INTO pending (dyconit, sub_id, seq, mkey, time, blob) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (self._dk, sub_id, self._store.next_seq(), _blob(key),
+                 update.time, _blob(update)),
+            )
+        view = SQLiteSubscriptionView(self, subscriber)
+        self._views[sub_id] = view
+        return view
 
     def set_bounds(self, subscriber_id: int, bounds: Bounds) -> None:
         view = self._views.get(subscriber_id)

@@ -25,6 +25,7 @@ streams are byte-identical to a legacy ``GameServer`` run.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.cluster.bus import InterShardBus
@@ -108,9 +109,15 @@ class ShardedCluster:
         peer_bounds: Bounds | None = None,
         direct_mode: bool = False,
         telemetry: Telemetry | None = None,
+        state_stores=None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
+        if state_stores is not None and len(state_stores) != shards:
+            raise ValueError(
+                f"state_stores must have one entry per shard: got "
+                f"{len(state_stores)} for {shards} shards"
+            )
         if shards > 1 and (direct_mode or policy_factory is None):
             raise ValueError(
                 "cross-shard federation runs on inter-server dyconits: a "
@@ -131,6 +138,13 @@ class ShardedCluster:
                 entity_id_start=shard_id + 1,
                 entity_id_step=shards,
             )
+            # Durable restart (S20): each shard may get its own state
+            # store (file-backed stores cannot be shared across shards).
+            shard_config = (
+                self.config
+                if state_stores is None
+                else dataclasses.replace(self.config, state_store=state_stores[shard_id])
+            )
             self.shards.append(
                 ShardServer(
                     sim,
@@ -139,7 +153,7 @@ class ShardedCluster:
                     bus=self.bus,
                     peer_bounds=self.peer_bounds,
                     world=world,
-                    config=self.config,
+                    config=shard_config,
                     policy=policy_factory() if policy_factory is not None else None,
                     partitioner=(
                         partitioner_factory() if partitioner_factory is not None else None
@@ -201,6 +215,21 @@ class ShardedCluster:
             self._pump_event = None
         for shard in self.shards:
             shard.stop()
+
+    def close(self) -> None:
+        """Stop the cluster and release every shard's backend resources
+        (idempotent; stores handed in via ``state_stores`` instances
+        remain the caller's to close)."""
+        self.stop()
+        for shard in self.shards:
+            if shard.dyconits is not None:
+                shard.dyconits.close()
+
+    def __enter__(self) -> "ShardedCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _pump(self) -> None:
         if not self._running:

@@ -243,6 +243,34 @@ class Dyconit:
             return self._flat.view(subscriber_id)
         return self._subscriptions.get(subscriber_id)
 
+    def restore_subscription(self, subscriber: Subscriber, snap) -> SubscriptionState:
+        """Recreate a subscription from a restart snapshot (S20).
+
+        Fields are copied verbatim — replaying through :meth:`enqueue`
+        would recompute ``accumulated_error`` without the superseded
+        updates' weights. A columnar dyconit is privatized first; the
+        manager's legacy commit path is packet-identical (S17), so a
+        restored run stays bit-compatible.
+        """
+        if self.is_subscribed(subscriber.subscriber_id):
+            raise ValueError(
+                f"subscriber {subscriber.subscriber_id} already subscribed "
+                f"to {self.dyconit_id!r}"
+            )
+        self._ensure_private()
+        state = SubscriptionState(
+            subscriber=subscriber,
+            bounds=snap.bounds,
+            pending=dict(snap.pending),
+            accumulated_error=snap.accumulated_error,
+            oldest_pending_time=snap.oldest_pending_time,
+            enqueued_count=snap.enqueued_count,
+            merged_count=snap.merged_count,
+            merging=snap.merging,
+        )
+        self._subscriptions[subscriber.subscriber_id] = state
+        return state
+
     def set_bounds(self, subscriber_id: int, bounds: Bounds) -> None:
         if self._flat is not None:
             slot = self._flat.slots.get(subscriber_id)

@@ -20,8 +20,15 @@ from __future__ import annotations
 
 import heapq
 import math
+from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterator, Sequence
 
+from repro.backends.base import (
+    EventBus,
+    StateStore,
+    SubscriptionSnapshot,
+    snapshot_subscription,
+)
 from repro.backends.registry import create_event_bus, create_state_store
 from repro.core.bounds import Bounds
 from repro.core.dyconit import Dyconit, SubscriptionState
@@ -31,6 +38,48 @@ from repro.core.stats import DyconitStats
 from repro.core.subscription import Subscriber
 from repro.core.update import Update
 from repro.telemetry.hub import NULL_TELEMETRY, Telemetry
+
+
+@dataclass
+class DyconitRecord:
+    """One dyconit's durable half in a :class:`SystemSnapshot`."""
+
+    dyconit_id: Hashable
+    total_committed_weight: float
+    commit_count: int
+    default_bounds: Bounds
+    merging: bool
+    #: Subscription snapshots in iteration (= legacy dict insertion) order.
+    subscriptions: list[SubscriptionSnapshot] = field(default_factory=list)
+
+
+@dataclass
+class SystemSnapshot:
+    """Everything a :class:`DyconitSystem` needs to resume bit-compatibly.
+
+    Subscriber *callbacks* are deliberately absent — they are runtime
+    objects (closures over sockets and sessions) and are re-supplied by
+    the host at :meth:`DyconitSystem.restore` time. Everything else is
+    plain picklable data; the policy rides along whole (policies hold
+    only picklable tuning state, a property the parallel sweep executor
+    already relies on).
+    """
+
+    dyconits: list[DyconitRecord]
+    #: Subscriber ids in registration order.
+    subscriber_order: list[int]
+    #: Per subscriber, its dyconit ids in subscription order.
+    membership: dict[int, list[Hashable]]
+    aliases: dict[Hashable, Hashable]
+    alias_sources: dict[Hashable, list[Hashable]]
+    deadline_heap: list[tuple[float, int, Hashable, int]]
+    heap_seq: int
+    last_policy_evaluation: float
+    repartition_epoch: int
+    stats: DyconitStats
+    policy: Policy
+    merging_enabled: bool
+    use_batched_commit: bool
 
 
 class DyconitSystem:
@@ -58,6 +107,12 @@ class DyconitSystem:
         #: default direct bus delivers inline, exactly like the legacy
         #: ``subscriber.deliver(...)`` call.
         self.event_bus = create_event_bus(event_bus)
+        # Backends built here from a spec are this system's to close;
+        # instances handed in stay the caller's (a restart harness keeps
+        # its store open across the system it is tearing down).
+        self._owns_state_store = not isinstance(state_store, StateStore)
+        self._owns_event_bus = not isinstance(event_bus, EventBus)
+        self._closed = False
         #: E8(a) ablation switch; affects dyconits created after the change.
         self.merging_enabled = merging_enabled
         #: S17 toggle: new dyconits use the flat columnar subscription
@@ -116,6 +171,139 @@ class DyconitSystem:
     @property
     def now(self) -> float:
         return self._time_source()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        Backends the system constructed from specs are closed; instances
+        the caller passed in remain the caller's to close — the restart
+        harness hands one store to a system, tears the system down, and
+        keeps using the store.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_state_store:
+            self.state_store.close()
+        if self._owns_event_bus:
+            self.event_bus.close()
+
+    def __enter__(self) -> "DyconitSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Restart (S20): snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> SystemSnapshot:
+        """Capture the durable half of the middleware, bit-for-bit.
+
+        Called at a tick barrier (no partially applied commit). The
+        result is plain data — see :class:`SystemSnapshot` for what is
+        deliberately left out.
+        """
+        records = []
+        for dyconit_id, dyconit in self._dyconits.items():
+            records.append(
+                DyconitRecord(
+                    dyconit_id=dyconit_id,
+                    total_committed_weight=dyconit.total_committed_weight,
+                    commit_count=dyconit.commit_count,
+                    default_bounds=dyconit.default_bounds,
+                    merging=dyconit.merging,
+                    subscriptions=[
+                        snapshot_subscription(state)
+                        for state in dyconit.subscription_states()
+                    ],
+                )
+            )
+        return SystemSnapshot(
+            dyconits=records,
+            subscriber_order=list(self._subscribers),
+            membership={
+                sub_id: list(ids)
+                for sub_id, ids in self._subscriptions_by_subscriber.items()
+            },
+            aliases=dict(self._aliases),
+            alias_sources={
+                target: list(sources)
+                for target, sources in self._alias_sources.items()
+            },
+            deadline_heap=list(self._deadline_heap),
+            heap_seq=self._heap_seq,
+            last_policy_evaluation=self._last_policy_evaluation,
+            repartition_epoch=self._repartition_epoch,
+            stats=self.stats,
+            policy=self.policy,
+            merging_enabled=self.merging_enabled,
+            use_batched_commit=self.use_batched_commit,
+        )
+
+    def restore(self, snap: SystemSnapshot, subscribers: dict[int, Subscriber]) -> None:
+        """Rebuild this (freshly constructed, empty) system from ``snap``.
+
+        ``subscribers`` supplies the runtime callback objects, keyed by
+        subscriber id — the host rebuilt them alongside its sessions.
+        The store is wiped first (:meth:`StateStore.reset`) so rows a
+        killed run wrote *after* the checkpoint can never leak in; every
+        queue and accounting field is then rewritten verbatim through
+        :meth:`~repro.backends.base.DyconitStateHandle.restore_subscription`.
+        """
+        if self._dyconits or self._subscribers:
+            raise RuntimeError("restore() requires a fresh, empty DyconitSystem")
+        missing = [
+            sub.subscriber_id
+            for record in snap.dyconits
+            for sub in record.subscriptions
+            if sub.subscriber_id not in subscribers
+        ]
+        if missing:
+            raise ValueError(f"no runtime subscriber supplied for ids {missing}")
+        self.merging_enabled = snap.merging_enabled
+        self.use_batched_commit = snap.use_batched_commit
+        # Adopt the snapshot's policy wholesale: adaptive policies carry
+        # tuning state (EWMA baselines, last decisions) that must resume
+        # where the captured run left off.
+        self.policy = snap.policy
+        snap.policy.on_attach(self)
+        self.state_store.reset()
+        for sub_id in snap.subscriber_order:
+            self.register_subscriber(subscribers[sub_id])
+        for record in snap.dyconits:
+            handle = self.state_store.create_dyconit_state(
+                record.dyconit_id,
+                merging=record.merging,
+                flat=self.use_batched_commit,
+            )
+            self._dyconits[record.dyconit_id] = handle
+            handle.default_bounds = record.default_bounds
+            handle.total_committed_weight = record.total_committed_weight
+            handle.commit_count = record.commit_count
+            for sub in record.subscriptions:
+                handle.restore_subscription(subscribers[sub.subscriber_id], sub)
+        self._subscriptions_by_subscriber = {
+            sub_id: dict.fromkeys(ids) for sub_id, ids in snap.membership.items()
+        }
+        self._aliases = dict(snap.aliases)
+        self._alias_sources = {
+            target: dict.fromkeys(sources)
+            for target, sources in snap.alias_sources.items()
+        }
+        # The recorded list was a valid heap when captured; restoring it
+        # verbatim (entries, seq counter and all) keeps future pops and
+        # pushes identical to the unkilled run.
+        self._deadline_heap = [tuple(entry) for entry in snap.deadline_heap]
+        self._heap_seq = snap.heap_seq
+        self._last_policy_evaluation = snap.last_policy_evaluation
+        self._repartition_epoch = snap.repartition_epoch
+        self.stats = snap.stats
 
     # ------------------------------------------------------------------
     # Dyconit lifecycle

@@ -33,6 +33,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_PUT(self) -> None:  # noqa: N802
         self._dispatch("PUT")
 
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # operator endpoint; stay quiet on the server's stderr
 

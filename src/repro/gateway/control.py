@@ -19,6 +19,14 @@ Two operation kinds:
   auditor invariants hold at the very next check). When the active
   policy carries a ``bounds`` attribute (e.g. fixed), it is updated
   too so *future* subscriptions inherit the new bound.
+
+Three operation kinds, in fact — S20 adds:
+
+* ``{"kind": "checkpoint", "key": <name>}`` — capture a durable
+  restart snapshot (:mod:`repro.server.snapshot`) into the dyconit
+  state store's checkpoint table, exactly at the barrier. The capture
+  is observably read-only: a run that checkpoints and a run that does
+  not are packet-identical.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from typing import Any
 from repro.core.bounds import Bounds
 
 #: Operation kinds :meth:`ControlPlane.submit` accepts.
-OP_KINDS = ("set_policy", "set_bounds")
+OP_KINDS = ("set_policy", "set_bounds", "checkpoint")
 
 
 def _bounds_from_op(op: dict) -> Bounds:
@@ -77,6 +85,10 @@ class ControlPlane:
                     "policy 'vanilla' means no middleware; a running dyconit "
                     "server cannot be retuned to it"
                 )
+        elif kind == "checkpoint":
+            key = op.get("key")
+            if not isinstance(key, str) or not key:
+                raise ValueError("checkpoint needs a non-empty string 'key'")
         else:
             _bounds_from_op(op)  # raises on missing/negative values
         with self._lock:
@@ -106,8 +118,15 @@ class ControlPlane:
         for op in batch:
             status = "ok"
             try:
-                for server in servers:
-                    self._apply_one(server, op)
+                if op["kind"] == "checkpoint":
+                    # One snapshot of the whole target: a cluster is
+                    # captured cluster-wide (bus and all), not per shard.
+                    from repro.server.snapshot import checkpoint_target
+
+                    checkpoint_target(target, op["key"])
+                else:
+                    for server in servers:
+                        self._apply_one(server, op)
             except Exception as exc:  # noqa: BLE001 — logged, not fatal
                 status = f"error: {exc}"
             self.log.append(dict(op, applied_tick=tick, status=status))

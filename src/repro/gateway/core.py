@@ -8,12 +8,14 @@ the retune/telemetry logic is identical either way.
 
 Routes::
 
-    GET /healthz   liveness + current tick
-    GET /metrics   Prometheus exposition text (the S14 exporter)
-    GET /policy    active policy + control-plane queue depths
-    GET /stats     middleware counters snapshot
-    GET /ops       applied-op audit log (+ pending count)
-    PUT /policy    submit retune ops; applied at the next tick barrier
+    GET /healthz      liveness + current tick
+    GET /metrics      Prometheus exposition text (the S14 exporter)
+    GET /policy       active policy + control-plane queue depths
+    GET /stats        middleware counters snapshot
+    GET /ops          applied-op audit log (+ pending count)
+    GET /store        state-store backends + stored checkpoint keys
+    PUT /policy       submit retune ops; applied at the next tick barrier
+    POST /checkpoint  capture a durable restart snapshot at the barrier
 """
 
 from __future__ import annotations
@@ -92,8 +94,12 @@ class GatewayCore:
                             "pending": self.control.pending_count(),
                         }
                     )
+                if path == "/store":
+                    return 200, JSON, json.dumps(self._store_view())
             elif method == "PUT" and path == "/policy":
                 return self._put_policy(body)
+            elif method == "POST" and path == "/checkpoint":
+                return self._post_checkpoint(body)
             return 404, JSON, json.dumps({"error": f"no route {method} {path}"})
         except ValueError as exc:
             return 400, JSON, json.dumps({"error": str(exc)})
@@ -128,6 +134,31 @@ class GatewayCore:
             "subscribers": sum(s.subscriber_count for s in systems),
             "stats": [_stats_dict(s.stats) for s in systems],
         }
+
+    def _store_view(self) -> dict:
+        """Backends and stored checkpoint keys, per dyconit system."""
+        stores = []
+        for system in self._systems():
+            store = system.state_store
+            stores.append(
+                {"backend": store.name, "checkpoints": list(store.checkpoint_keys())}
+            )
+        return {"tick": self.tick, "stores": stores}
+
+    def _post_checkpoint(self, body: bytes | str | None) -> tuple[int, str, str]:
+        """Queue a checkpoint op; it captures at the next tick barrier."""
+        if not body:
+            raise ValueError("POST /checkpoint needs a JSON body")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "key" not in payload:
+            raise ValueError("POST /checkpoint body must be {'key': <name>}")
+        op_id = self.control.submit({"kind": "checkpoint", "key": payload["key"]})
+        return 202, JSON, json.dumps(
+            {"accepted": [op_id], "pending": self.control.pending_count()}
+        )
 
     def _put_policy(self, body: bytes | str | None) -> tuple[int, str, str]:
         if not body:

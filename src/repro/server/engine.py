@@ -188,6 +188,24 @@ class GameServer:
             self._tick_event.cancel()
             self._tick_event = None
 
+    def close(self) -> None:
+        """Stop the server and release middleware backend resources.
+
+        Idempotent. A store the caller passed in as an *instance* (the
+        restart harness keeping one file-backed store across server
+        generations) is left open — only spec-built backends are closed;
+        see :meth:`DyconitSystem.close`.
+        """
+        self.stop()
+        if self.dyconits is not None:
+            self.dyconits.close()
+
+    def __enter__(self) -> "GameServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Connections
     # ------------------------------------------------------------------

@@ -46,7 +46,13 @@ class World:
         self.generator = generator if generator is not None else TerrainGenerator(seed)
         self._chunks: dict[ChunkPos, Chunk] = {}
         self._entities: dict[int, Entity] = {}
-        self._entities_by_chunk: dict[ChunkPos, set[int]] = {}
+        #: Chunk buckets are insertion-ordered dicts, not sets: bucket
+        #: iteration order feeds entity-snapshot packet order, and a
+        #: set's order depends on its whole insert/delete *history* —
+        #: impossible to reproduce when a world is rebuilt from a
+        #: checkpoint. Dict order is plain insertion order, which a
+        #: restore can replay exactly (same trick as ``ViewerIndex``).
+        self._entities_by_chunk: dict[ChunkPos, dict[int, None]] = {}
         self._listeners: list[WorldListener] = []
         #: Auto-allocated ids walk ``start, start+step, start+2*step, ...``.
         #: A sharded cluster gives shard *i* of *N* the stride
@@ -174,7 +180,7 @@ class World:
             raise ValueError(f"entity id {entity_id} already exists in this world")
         entity = Entity(entity_id=entity_id, kind=kind, position=position, name=name)
         self._entities[entity.entity_id] = entity
-        self._entities_by_chunk.setdefault(entity.chunk_pos, set()).add(entity.entity_id)
+        self._entities_by_chunk.setdefault(entity.chunk_pos, {})[entity.entity_id] = None
         self._emit(
             EntitySpawnEvent(
                 time=self.time,
@@ -213,7 +219,7 @@ class World:
         new_chunk = entity.chunk_pos
         if new_chunk != old_chunk:
             self._unindex_at(entity_id, old_chunk)
-            self._entities_by_chunk.setdefault(new_chunk, set()).add(entity_id)
+            self._entities_by_chunk.setdefault(new_chunk, {})[entity_id] = None
         self._emit(
             EntityMoveEvent(
                 time=self.time,
@@ -226,7 +232,7 @@ class World:
         )
 
     def entities_in_chunk(self, pos: ChunkPos) -> list[Entity]:
-        ids = self._entities_by_chunk.get(pos, set())
+        ids = self._entities_by_chunk.get(pos, ())
         return [self._entities[entity_id] for entity_id in ids]
 
     def chat(self, sender_id: int, text: str) -> None:
@@ -237,11 +243,11 @@ class World:
 
     def _unindex_at(self, entity_id: int, chunk: ChunkPos) -> None:
         """Drop an entity from one chunk bucket, pruning the bucket when it
-        empties — a wandering entity must not leave a dead ``set()`` behind
+        empties — a wandering entity must not leave a dead bucket behind
         for every chunk it ever crossed."""
         bucket = self._entities_by_chunk.get(chunk)
         if bucket is None:
             return
-        bucket.discard(entity_id)
+        bucket.pop(entity_id, None)
         if not bucket:
             del self._entities_by_chunk[chunk]

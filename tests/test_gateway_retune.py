@@ -288,3 +288,114 @@ class TestValidation:
             for state in dyconit.subscription_states()
         ]
         assert untouched and all(state.bounds != zero for state in untouched)
+
+
+# ---------------------------------------------------------------------------
+# S20: the checkpoint op and the store view
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointEndpoint:
+    def boot_with_store(self, tmp_path):
+        from repro.backends import SQLiteStateStore
+
+        store = SQLiteStateStore(str(tmp_path / "gateway.db"))
+        sim = Simulation()
+        server = GameServer(
+            sim,
+            world=World(seed=23),
+            config=ServerConfig(
+                seed=23,
+                synchronous_delivery=True,
+                mob_count=2,
+                state_store=store,
+            ),
+            policy=make_policy("fixed"),
+        )
+        server.start()
+        return sim, server, store
+
+    def test_post_checkpoint_applies_at_the_barrier(self, tmp_path):
+        sim, server, store = self.boot_with_store(tmp_path)
+        core = GatewayCore(server)
+        sim.run_until(500.0)
+        tick_at_submit = server.tick_count
+
+        status, __, body = core.handle(
+            "POST", "/checkpoint", json.dumps({"key": "nightly"})
+        )
+        assert status == 202
+        op_id = json.loads(body)["accepted"][0]
+        assert store.checkpoint_keys() == []  # queued, not yet captured
+
+        sim.run_until(sim.now + 2 * TICK_MS)
+        applied = {op["id"]: op for op in core.control.log}
+        assert applied[op_id]["status"] == "ok"
+        assert applied[op_id]["applied_tick"] > tick_at_submit
+        assert store.checkpoint_keys() == ["nightly"]
+
+    def test_get_store_lists_backend_and_keys(self, tmp_path):
+        sim, server, store = self.boot_with_store(tmp_path)
+        core = GatewayCore(server)
+        sim.run_until(300.0)
+        core.handle("POST", "/checkpoint", json.dumps({"key": "a"}))
+        core.handle("POST", "/checkpoint", json.dumps({"key": "b"}))
+        sim.run_until(sim.now + 2 * TICK_MS)
+
+        status, __, body = core.handle("GET", "/store")
+        assert status == 200
+        view = json.loads(body)
+        assert view["stores"] == [{"backend": "sqlite", "checkpoints": ["a", "b"]}]
+        assert view["tick"] == server.tick_count
+
+    def test_checkpointed_server_restores_from_the_store_file(self, tmp_path):
+        """The operator loop end to end: POST /checkpoint, lose the
+        process, reattach a fresh store handle, resume."""
+        from repro.backends import SQLiteStateStore
+        from repro.server.snapshot import restore_server_from_store
+
+        sim, server, store = self.boot_with_store(tmp_path)
+        core = GatewayCore(server)
+        sim.run_until(500.0)
+        core.handle("POST", "/checkpoint", json.dumps({"key": "dr"}))
+        sim.run_until(sim.now + 2 * TICK_MS)
+        del server, sim  # SIGKILL semantics: never stopped, never closed
+
+        reattached = SQLiteStateStore(str(tmp_path / "gateway.db"))
+        restored = restore_server_from_store(reattached, "dr", handlers={})
+        restored.sim.run_until(restored.sim.now + 5 * TICK_MS)
+        assert InvariantAuditor().check_server(restored) == []
+        restored.close()
+
+    def test_malformed_checkpoint_bodies_rejected(self, tmp_path):
+        sim, server, __ = self.boot_with_store(tmp_path)
+        core = GatewayCore(server)
+        for body in (None, "", "not json", json.dumps({}), json.dumps({"key": ""})):
+            status, __, payload = core.handle("POST", "/checkpoint", body)
+            assert status == 400, (body, payload)
+        assert core.control.pending_count() == 0
+
+    def test_checkpoint_over_real_http(self, tmp_path):
+        import urllib.request
+
+        from repro.gateway.app import serve_gateway
+
+        sim, server, store = self.boot_with_store(tmp_path)
+        sim.run_until(300.0)
+        http = serve_gateway(server)
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{http.port}/checkpoint",
+                data=json.dumps({"key": "via-http"}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 202
+            sim.run_until(sim.now + 2 * TICK_MS)
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{http.port}/store"
+            ) as response:
+                view = json.loads(response.read())
+        finally:
+            http.stop()
+        assert view["stores"][0]["checkpoints"] == ["via-http"]
